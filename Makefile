@@ -1,0 +1,37 @@
+# Development targets for the mmV2V reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per paper table/figure plus simulator workloads.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's full evaluation (minutes; see -trials).
+experiments:
+	$(GO) run ./cmd/mmv2v-experiments -fig all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/platoon
+	$(GO) run ./examples/tuning
+	$(GO) run ./examples/tracing
+	$(GO) run ./examples/densitysweep
+
+clean:
+	$(GO) clean ./...

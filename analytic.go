@@ -1,0 +1,53 @@
+package mmv2v
+
+import (
+	"mmv2v/internal/analytic"
+	"mmv2v/internal/channel"
+	"mmv2v/internal/phy"
+)
+
+// Closed-form design models (internal/analytic), re-exported for downstream
+// users who size deployments without running simulations.
+
+// DiscoveryRatio returns Theorem 2's expected identified-neighbor ratio
+// after k discovery rounds with transmitter probability p:
+// 1 − [p² + (1−p)²]^k.
+func DiscoveryRatio(p float64, k int) float64 { return analytic.DiscoveryRatio(p, k) }
+
+// RoundsForRatio returns the smallest K reaching a target discovery ratio
+// at p = 0.5.
+func RoundsForRatio(target float64) int { return analytic.RoundsForRatio(target) }
+
+// FrameBudget decomposes a protocol frame into SND/DCM/refinement/UDT.
+type FrameBudget = analytic.FrameBudget
+
+// Budget computes the frame airtime split for an operating point (K, M)
+// with the paper's timing and codebook.
+func Budget(k, m int) (FrameBudget, error) {
+	return analytic.Budget(phy.DefaultTiming(), phy.DefaultCodebook(), k, m)
+}
+
+// LinkBudget is a boresight link evaluation at one distance.
+type LinkBudget = analytic.LinkBudget
+
+// Link evaluates the paper's channel at a distance for given 3 dB beam
+// widths in radians (use DegToRad for degrees).
+func Link(distM, txWidthRad, rxWidthRad float64) (LinkBudget, error) {
+	return analytic.Link(channel.DefaultParams(), distM, txWidthRad, rxWidthRad)
+}
+
+// RangeForSNR returns the largest distance at which a boresight link still
+// reaches the given SNR with the paper's channel.
+func RangeForSNR(txWidthRad, rxWidthRad, minSNRdB float64) (float64, error) {
+	return analytic.RangeForSNR(channel.DefaultParams(), txWidthRad, rxWidthRad, minSNRdB)
+}
+
+// FramesToComplete returns how many dedicated frames a pair needs to move
+// demandBits at rateBps under a frame budget.
+func FramesToComplete(b FrameBudget, rateBps, demandBits float64) int {
+	return analytic.FramesToComplete(b, rateBps, demandBits)
+}
+
+// DegToRad converts degrees to radians (beam widths in the public API are
+// radians).
+func DegToRad(deg float64) float64 { return deg * 3.141592653589793 / 180 }

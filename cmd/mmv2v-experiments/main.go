@@ -1,0 +1,197 @@
+// Command mmv2v-experiments regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	mmv2v-experiments -fig 9 -trials 3          # Fig. 9 comparison
+//	mmv2v-experiments -fig all -trials 2        # everything
+//	mmv2v-experiments -fig t2                   # Theorem 2 validation
+//	mmv2v-experiments -fig ablation             # design-choice ablation
+//
+// Results print as text tables with the same rows/series the paper plots.
+// The paper repeats each experiment 100 times; -trials trades fidelity for
+// runtime (full Fig. 9 at -trials 3 takes a few minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mmv2v"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mmv2v-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, t2, ablation, trucks, warmup, all")
+		trials = flag.Int("trials", 0, "trials per data point (0 = per-figure default)")
+		seed   = flag.Uint64("seed", 1, "experiment seed")
+		format = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		return fmt.Errorf("unknown format %q (want table or csv)", *format)
+	}
+	csvMode := *format == "csv"
+
+	runners := map[string]func() error{
+		"6": func() error {
+			opts := mmv2v.DefaultFig6Options()
+			opts.Seed = *seed
+			if *trials > 0 {
+				opts.Trials = *trials
+			}
+			res, err := mmv2v.ReproduceFig6(opts)
+			if err != nil {
+				return err
+			}
+			if csvMode {
+				return res.WriteCSV(w)
+			}
+			res.WriteTable(w)
+			fmt.Fprintf(w, "best C per scenario: %v (paper: C ≈ |N_i|, C = 7 as a good practice)\n\n", res.BestC())
+			return nil
+		},
+		"7": func() error {
+			opts := mmv2v.DefaultFig7Options()
+			opts.Seed = *seed
+			if *trials > 0 {
+				opts.Trials = *trials
+			}
+			res, err := mmv2v.ReproduceFig7(opts)
+			if err != nil {
+				return err
+			}
+			if csvMode {
+				return res.WriteCSV(w)
+			}
+			res.WriteTable(w)
+			fmt.Fprintf(w, "best K: %d (paper: K = 3)\n\n", res.BestK())
+			return nil
+		},
+		"8": func() error {
+			opts := mmv2v.DefaultFig8Options()
+			opts.Seed = *seed
+			if *trials > 0 {
+				opts.Trials = *trials
+			}
+			res, err := mmv2v.ReproduceFig8(opts)
+			if err != nil {
+				return err
+			}
+			if csvMode {
+				return res.WriteCSV(w)
+			}
+			res.WriteTable(w)
+			fmt.Fprintf(w, "best M: %d (paper: M = 40)\n\n", res.BestM())
+			return nil
+		},
+		"9": func() error {
+			opts := mmv2v.DefaultFig9Options()
+			opts.Seed = *seed
+			if *trials > 0 {
+				opts.Trials = *trials
+			}
+			res, err := mmv2v.ReproduceFig9(opts)
+			if err != nil {
+				return err
+			}
+			if csvMode {
+				return res.WriteCSV(w)
+			}
+			res.WriteTable(w)
+			fmt.Fprintln(w, "paper reference @15 vpl: mmV2V 0.742, ROP 0.319, 802.11ad 0.465")
+			fmt.Fprintln(w, "paper reference @30 vpl: mmV2V 0.576, ROP 0.227, 802.11ad 0.192")
+			fmt.Fprintln(w)
+			return nil
+		},
+		"t2": func() error {
+			opts := mmv2v.DefaultTheorem2Options()
+			opts.Seed = *seed
+			res, err := mmv2v.ValidateTheorem2(opts)
+			if err != nil {
+				return err
+			}
+			if csvMode {
+				return res.WriteCSV(w)
+			}
+			res.WriteTable(w)
+			fmt.Fprintln(w)
+			return nil
+		},
+		"warmup": func() error {
+			opts := mmv2v.DefaultWarmupOptions()
+			opts.Seed = *seed
+			if *trials > 0 {
+				opts.Trials = *trials
+			}
+			res, err := mmv2v.RunWarmup(opts)
+			if err != nil {
+				return err
+			}
+			res.WriteTable(w)
+			fmt.Fprintln(w)
+			return nil
+		},
+		"trucks": func() error {
+			opts := mmv2v.DefaultTrucksOptions()
+			opts.Seed = *seed
+			if *trials > 0 {
+				opts.Trials = *trials
+			}
+			res, err := mmv2v.RunTrucks(opts)
+			if err != nil {
+				return err
+			}
+			if csvMode {
+				return res.WriteCSV(w)
+			}
+			res.WriteTable(w)
+			fmt.Fprintln(w)
+			return nil
+		},
+		"ablation": func() error {
+			opts := mmv2v.DefaultAblationOptions()
+			opts.Seed = *seed
+			if *trials > 0 {
+				opts.Trials = *trials
+			}
+			res, err := mmv2v.RunAblation(opts)
+			if err != nil {
+				return err
+			}
+			if csvMode {
+				return res.WriteCSV(w)
+			}
+			res.WriteTable(w)
+			fmt.Fprintln(w)
+			return nil
+		},
+	}
+
+	order := []string{"t2", "6", "7", "8", "9", "ablation", "trucks", "warmup"}
+	if *fig != "all" {
+		if _, ok := runners[*fig]; !ok {
+			return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, t2, ablation, trucks, warmup, all)", *fig)
+		}
+		order = []string{*fig}
+	}
+	for _, name := range order {
+		start := time.Now()
+		if err := runners[name](); err != nil {
+			return fmt.Errorf("figure %s: %w", name, err)
+		}
+		if !csvMode {
+			fmt.Fprintf(w, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package mmv2v_test
+
+import (
+	"fmt"
+
+	"mmv2v"
+)
+
+// ExampleDiscoveryRatio reproduces the Theorem 2 numbers the paper quotes:
+// 87.5 % of neighbors identified per frame at K = 3, and the K needed for
+// the "99.8 % after 3 frames" claim.
+func ExampleDiscoveryRatio() {
+	fmt.Printf("K=3: %.3f\n", mmv2v.DiscoveryRatio(0.5, 3))
+	fmt.Printf("K=9: %.4f\n", mmv2v.DiscoveryRatio(0.5, 9)) // ≈ 3 frames × 3 rounds
+	fmt.Printf("rounds for 0.875: %d\n", mmv2v.RoundsForRatio(0.875))
+	// Output:
+	// K=3: 0.875
+	// K=9: 0.9980
+	// rounds for 0.875: 3
+}
+
+// ExampleBudget shows the paper's frame airtime split at the chosen
+// operating point (K=3 discovery rounds, M=40 negotiation slots).
+func ExampleBudget() {
+	b, err := mmv2v.Budget(3, 40)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("SND %v, DCM %v, UDT fraction %.1f%%\n", b.SND, b.DCM, b.UDTFraction*100)
+	// Output:
+	// SND 2.304ms, DCM 1.2ms, UDT fraction 81.5%
+}
+
+// ExampleLink evaluates the 60 GHz link budget at the paper's 15 vpl
+// headway (≈66 m) with refined 3° beams: comfortably MCS12.
+func ExampleLink() {
+	lb, err := mmv2v.Link(66, mmv2v.DegToRad(3), mmv2v.DegToRad(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s at %.1f dB SNR\n", lb.MCS, lb.SNRdB)
+	// Output:
+	// MCS12 at 23.9 dB SNR
+}
+
+// ExampleRun runs the paper's standard scenario under mmV2V. (Not verified
+// output: the metrics depend on the full simulation.)
+func ExampleRun() {
+	cfg := mmv2v.DefaultScenario(15, 42) // 15 vehicles/lane/km, seed 42
+	res, err := mmv2v.Run(cfg, mmv2v.MMV2V(mmv2v.DefaultParams()))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("OCR=%.3f ATP=%.3f DTP=%.3f", res.Summary.MeanOCR, res.Summary.MeanATP, res.Summary.MeanDTP)
+}
+
+// ExampleRunCustom builds a hand-placed three-vehicle scenario.
+func ExampleRunCustom() {
+	cfg := mmv2v.DefaultScenario(0, 7)
+	cfg.WarmupSec = 0
+	specs := []mmv2v.VehicleSpec{
+		{Dir: mmv2v.Eastbound, Lane: 0, PositionM: 0, SpeedMS: 15},
+		{Dir: mmv2v.Eastbound, Lane: 1, PositionM: 20, SpeedMS: 15},
+		{Dir: mmv2v.Eastbound, Lane: 2, PositionM: 40, SpeedMS: 15},
+	}
+	res, err := mmv2v.RunCustom(cfg, specs, mmv2v.MMV2V(mmv2v.DefaultParams()))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d vehicles measured", res.Summary.Vehicles)
+}

@@ -1,0 +1,80 @@
+// Densitysweep: a compact version of the paper's Fig. 9(a) — OHM completion
+// ratio versus traffic density for mmV2V, the two baselines and the
+// centralized greedy oracle, rendered as an ASCII chart.
+//
+//	go run ./examples/densitysweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mmv2v"
+)
+
+func main() {
+	densities := []float64{10, 15, 20, 25, 30}
+	protocols := []struct {
+		name    string
+		factory mmv2v.Factory
+	}{
+		{"mmV2V", mmv2v.MMV2V(mmv2v.DefaultParams())},
+		{"ROP", mmv2v.ROP(mmv2v.DefaultROPParams())},
+		{"802.11ad", mmv2v.AD(mmv2v.DefaultADParams())},
+		{"oracle", mmv2v.Oracle(mmv2v.DefaultParams())},
+	}
+
+	fmt.Println("OCR vs traffic density (vehicles/lane/km) — cf. paper Fig. 9(a)")
+	ocr := make(map[string][]float64, len(protocols))
+	for _, d := range densities {
+		cfg := mmv2v.DefaultScenario(d, 1)
+		for _, p := range protocols {
+			res, err := mmv2v.Run(cfg, p.factory)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ocr[p.name] = append(ocr[p.name], res.Summary.MeanOCR)
+		}
+		fmt.Printf("  density %2.0f done\n", d)
+	}
+
+	fmt.Printf("\n%-10s", "density")
+	for _, d := range densities {
+		fmt.Printf(" %6.0f", d)
+	}
+	fmt.Println()
+	for _, p := range protocols {
+		fmt.Printf("%-10s", p.name)
+		for _, v := range ocr[p.name] {
+			fmt.Printf(" %6.3f", v)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nOCR (each column one density; # = mmV2V, r = ROP, a = 802.11ad):")
+	for level := 10; level >= 1; level-- {
+		y := float64(level) / 10
+		row := make([]string, len(densities))
+		for i := range densities {
+			cell := " "
+			if ocr["802.11ad"][i] >= y {
+				cell = "a"
+			}
+			if ocr["ROP"][i] >= y {
+				cell = "r"
+			}
+			if ocr["mmV2V"][i] >= y {
+				cell = "#"
+			}
+			row[i] = cell
+		}
+		fmt.Printf("%4.1f | %s\n", y, strings.Join(row, "     "))
+	}
+	fmt.Printf("     +-%s\n      ", strings.Repeat("------", len(densities)))
+	for _, d := range densities {
+		fmt.Printf("%-6.0f", d)
+	}
+	fmt.Println("\n\nmmV2V holds its completion ratio as density grows; the random and")
+	fmt.Println("PBSS-based schemes degrade much faster — the paper's central claim.")
+}

@@ -1,0 +1,42 @@
+// Quickstart: run the mmV2V protocol on the paper's standard scenario and
+// print the three OHM metrics, side by side with the two baselines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mmv2v"
+)
+
+func main() {
+	// The paper's "normal traffic condition": 15 vehicles per lane per km
+	// (≈66 m headway), each vehicle running a 200 Mb/s high-resolution
+	// image exchange (HRIE) task with every line-of-sight neighbor.
+	cfg := mmv2v.DefaultScenario(15, 42)
+
+	fmt.Println("mmV2V quickstart — 15 vpl, 200 Mb/s HRIE task, 1 s window")
+	fmt.Printf("%-10s %-8s %-8s %-8s\n", "protocol", "OCR", "ATP", "DTP")
+
+	for _, p := range []struct {
+		name    string
+		factory mmv2v.Factory
+	}{
+		{"mmV2V", mmv2v.MMV2V(mmv2v.DefaultParams())},
+		{"ROP", mmv2v.ROP(mmv2v.DefaultROPParams())},
+		{"802.11ad", mmv2v.AD(mmv2v.DefaultADParams())},
+	} {
+		res, err := mmv2v.Run(cfg, p.factory)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-8.3f %-8.3f %-8.3f\n",
+			p.name, res.Summary.MeanOCR, res.Summary.MeanATP, res.Summary.MeanDTP)
+	}
+
+	fmt.Println("\nOCR = fraction of neighbors whose exchange completed;")
+	fmt.Println("ATP = mean transfer progress; DTP = progress deviation (fairness).")
+	fmt.Println("Paper reference at 15 vpl: mmV2V 0.742, ROP 0.319, 802.11ad 0.465.")
+}

@@ -1,0 +1,60 @@
+// Tuning: sweep the mmV2V protocol knobs (K discovery rounds, M negotiation
+// slots, C hash constant, p role probability) on one scenario — the
+// single-scenario version of the paper's Sec. IV-B parameter studies.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mmv2v"
+)
+
+func main() {
+	cfg := mmv2v.DefaultScenario(20, 3)
+	cfg.WindowSec = 0.5 // half-second windows keep the sweep quick
+
+	run := func(mutate func(*mmv2v.Params)) mmv2v.Summary {
+		params := mmv2v.DefaultParams()
+		mutate(&params)
+		if err := params.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		res, err := mmv2v.Run(cfg, mmv2v.MMV2V(params))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Summary
+	}
+
+	fmt.Println("mmV2V parameter tuning at 20 vpl (0.5 s windows)")
+
+	fmt.Println("\ndiscovery rounds K (paper Fig. 7; more rounds find more neighbors")
+	fmt.Println("but cost airtime — the paper picks K=3):")
+	for _, k := range []int{1, 2, 3, 4} {
+		s := run(func(p *mmv2v.Params) { p.K = k })
+		fmt.Printf("  K=%d  OCR=%.3f ATP=%.3f\n", k, s.MeanOCR, s.MeanATP)
+	}
+
+	fmt.Println("\nnegotiation slots M (paper Fig. 8; too few → bad matching, too")
+	fmt.Println("many → wasted airtime — the paper picks M=40):")
+	for _, m := range []int{10, 20, 40, 80} {
+		s := run(func(p *mmv2v.Params) { p.M = m })
+		fmt.Printf("  M=%-2d OCR=%.3f ATP=%.3f\n", m, s.MeanOCR, s.MeanATP)
+	}
+
+	fmt.Println("\nCNS constant C (paper Fig. 6; ideal C ≈ average neighbor count —")
+	fmt.Println("the paper picks C=7):")
+	for _, c := range []int{2, 4, 7, 10} {
+		s := run(func(p *mmv2v.Params) { p.C = c })
+		fmt.Printf("  C=%-2d OCR=%.3f ATP=%.3f\n", c, s.MeanOCR, s.MeanATP)
+	}
+
+	fmt.Println("\nrole probability p (Theorem 2: p=0.5 maximizes the discovery ratio):")
+	for _, prob := range []float64{0.3, 0.5, 0.7} {
+		s := run(func(p *mmv2v.Params) { p.P = prob })
+		fmt.Printf("  p=%.1f OCR=%.3f ATP=%.3f\n", prob, s.MeanOCR, s.MeanATP)
+	}
+}

@@ -1,0 +1,3 @@
+module mmv2v
+
+go 1.22

@@ -1,0 +1,211 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mmv2v/internal/channel"
+	"mmv2v/internal/geom"
+	"mmv2v/internal/phy"
+)
+
+func TestDiscoveryRatioTheorem2Values(t *testing.T) {
+	tests := []struct {
+		p    float64
+		k    int
+		want float64
+	}{
+		{0.5, 1, 0.5},
+		{0.5, 2, 0.75},
+		{0.5, 3, 0.875}, // the paper's "87.5% in a single frame"
+		{0.5, 4, 0.9375},
+		{0.5, 0, 0},
+		{0.3, 1, 1 - (0.09 + 0.49)},
+	}
+	for _, tt := range tests {
+		if got := DiscoveryRatio(tt.p, tt.k); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("DiscoveryRatio(%v, %d) = %v, want %v", tt.p, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestDiscoveryRatioHalfOptimalProperty(t *testing.T) {
+	f := func(p float64, k uint8) bool {
+		p = math.Mod(math.Abs(p), 1)
+		if p == 0 || p == 0.5 {
+			return true
+		}
+		kk := int(k)%5 + 1
+		return DiscoveryRatio(0.5, kk) >= DiscoveryRatio(p, kk)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundsForRatio(t *testing.T) {
+	tests := []struct {
+		target float64
+		want   int
+	}{
+		{0.5, 1},
+		{0.75, 2},
+		{0.875, 3},
+		{0.99, 7},
+		{0, 0},
+	}
+	for _, tt := range tests {
+		if got := RoundsForRatio(tt.target); got != tt.want {
+			t.Errorf("RoundsForRatio(%v) = %d, want %d", tt.target, got, tt.want)
+		}
+	}
+	// Achievability: the returned K actually reaches the target.
+	for _, target := range []float64{0.6, 0.9, 0.998} {
+		k := RoundsForRatio(target)
+		if DiscoveryRatio(0.5, k) < target {
+			t.Errorf("K=%d does not reach %v", k, target)
+		}
+		if k > 1 && DiscoveryRatio(0.5, k-1) >= target {
+			t.Errorf("K=%d not minimal for %v", k, target)
+		}
+	}
+}
+
+func TestBudgetPaperOperatingPoint(t *testing.T) {
+	b, err := Budget(phy.DefaultTiming(), phy.DefaultCodebook(), 3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: one SND round 0.8 ms → 3 rounds ≈ 2.3 ms; DCM 40×0.03 = 1.2 ms.
+	if got := b.SND.Seconds() * 1000; math.Abs(got-2.304) > 0.01 {
+		t.Errorf("SND = %v ms, want ≈2.304", got)
+	}
+	if got := b.DCM.Seconds() * 1000; math.Abs(got-1.2) > 1e-9 {
+		t.Errorf("DCM = %v ms, want 1.2", got)
+	}
+	// "neighbor discovery and distributed matching take less than 5 ms"
+	if b.SND+b.DCM >= 5e6 {
+		t.Errorf("SND+DCM = %v, paper says < 5 ms", b.SND+b.DCM)
+	}
+	if b.UDTFraction < 0.75 || b.UDTFraction > 0.95 {
+		t.Errorf("UDT fraction = %v", b.UDTFraction)
+	}
+}
+
+func TestBudgetErrors(t *testing.T) {
+	if _, err := Budget(phy.DefaultTiming(), phy.DefaultCodebook(), 0, 40); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := Budget(phy.DefaultTiming(), phy.DefaultCodebook(), 3, 0); err == nil {
+		t.Error("M=0 should fail")
+	}
+	// A control plane bigger than the frame must be rejected.
+	if _, err := Budget(phy.DefaultTiming(), phy.DefaultCodebook(), 20, 400); err == nil {
+		t.Error("oversized control plane should fail")
+	}
+}
+
+func TestLinkBudgetAgainstChannelModel(t *testing.T) {
+	params := channel.DefaultParams()
+	lb, err := Link(params, 66, geom.Deg(3), geom.Deg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against the channel model directly.
+	model, err := channel.NewModel(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := channel.NewPattern(geom.Deg(3), params.SideLobeDB)
+	want := model.SNRdB(66, 0, tx.G1, tx.G1)
+	if math.Abs(lb.SNRdB-want) > 1e-9 {
+		t.Errorf("SNR = %v, model says %v", lb.SNRdB, want)
+	}
+	if lb.MCS != 12 {
+		t.Errorf("MCS at 66 m narrow beams = %v, want MCS12", lb.MCS)
+	}
+	if lb.RateBps != 4.62e9 {
+		t.Errorf("rate = %v", lb.RateBps)
+	}
+}
+
+func TestLinkBudgetUndecodable(t *testing.T) {
+	lb, err := Link(channel.DefaultParams(), 1500, geom.Deg(30), geom.Deg(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.MCS != -1 || lb.RateBps != 0 {
+		t.Errorf("1.5 km wide-beam link should be dead: %+v", lb)
+	}
+}
+
+func TestRangeForSNRInvertsLink(t *testing.T) {
+	params := channel.DefaultParams()
+	for _, snr := range []float64{1, 10, 16, 21} {
+		r, err := RangeForSNR(params, geom.Deg(30), geom.Deg(12), snr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r <= 0 {
+			t.Fatalf("no range for %v dB", snr)
+		}
+		at, err := Link(params, r, geom.Deg(30), geom.Deg(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(at.SNRdB-snr) > 0.01 {
+			t.Errorf("SNR at range(%v)=%.1f m is %v", snr, r, at.SNRdB)
+		}
+		beyond, _ := Link(params, r*1.1, geom.Deg(30), geom.Deg(12))
+		if beyond.SNRdB >= snr {
+			t.Errorf("SNR beyond range still %v", beyond.SNRdB)
+		}
+	}
+}
+
+func TestRangeForSNRCalibratesDiscoveryThreshold(t *testing.T) {
+	// The 16 dB discovery admission threshold in core should correspond to
+	// roughly the 50 m world comm range with the α/β discovery beams.
+	r, err := RangeForSNR(channel.DefaultParams(), geom.Deg(30), geom.Deg(12), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 40 || r > 65 {
+		t.Errorf("16 dB admission range = %.1f m, want ≈50", r)
+	}
+}
+
+func TestRandomMatchYield(t *testing.T) {
+	if got := RandomMatchYield(5); got != 0.2 {
+		t.Errorf("yield(5) = %v", got)
+	}
+	if got := RandomMatchYield(0.5); got != 0 {
+		t.Errorf("yield(<1) = %v", got)
+	}
+}
+
+func TestFramesToCompleteHRIE(t *testing.T) {
+	b, err := Budget(phy.DefaultTiming(), phy.DefaultCodebook(), 3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At MCS12 a frame carries ≈75 Mb of UDT: the 200 Mb HRIE unit needs 3
+	// dedicated frames — the arithmetic behind the paper's feasibility.
+	perFrame := FrameThroughputBound(b, 4.62e9)
+	if perFrame < 70e6 || perFrame > 80e6 {
+		t.Errorf("per-frame bound = %v bits", perFrame)
+	}
+	if got := FramesToComplete(b, 4.62e9, 200e6); got != 3 {
+		t.Errorf("frames to complete = %d, want 3", got)
+	}
+	if got := FramesToComplete(b, 0, 200e6); got != math.MaxInt32 {
+		t.Errorf("zero rate should never complete, got %d", got)
+	}
+}
+
+func TestOptimalRoleProbability(t *testing.T) {
+	if OptimalRoleProbability() != 0.5 {
+		t.Error("Theorem 2 says 0.5")
+	}
+}

@@ -1,0 +1,32 @@
+package channel
+
+import (
+	"testing"
+
+	"mmv2v/internal/geom"
+)
+
+func BenchmarkPatternGain(b *testing.B) {
+	p := NewPattern(geom.Deg(12), 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Gain(float64(i%628) / 100)
+	}
+}
+
+func BenchmarkPathLoss(b *testing.B) {
+	m, err := NewModel(DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.PathLossDB(float64(i%200)+1, i%3)
+	}
+}
+
+func BenchmarkNewPattern(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = NewPattern(geom.Deg(float64(i%30)+1), 20)
+	}
+}

@@ -1,0 +1,246 @@
+// Package channel implements the 60 GHz mmWave channel model the paper
+// evaluates with: the Yamamoto long-distance path-loss model (Eq. 1), the
+// 3GPP Gaussian main-lobe beam pattern (Eq. 2), and the directional SINR
+// formulation (Eq. 3), plus vehicle-body blockage accounting.
+//
+// All gains are carried in linear scale internally; dB helpers convert at
+// the boundaries. Power quantities are in milliwatts (so dBm values convert
+// directly).
+package channel
+
+import (
+	"fmt"
+	"math"
+)
+
+// DB converts a linear power ratio to decibels.
+func DB(lin float64) float64 { return 10 * math.Log10(lin) }
+
+// Lin converts decibels to a linear power ratio.
+func Lin(db float64) float64 { return math.Pow(10, db/10) }
+
+// DBmToMw converts dBm to milliwatts.
+func DBmToMw(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// MwToDBm converts milliwatts to dBm.
+func MwToDBm(mw float64) float64 { return 10 * math.Log10(mw) }
+
+// Params configures the channel model. Defaults mirror Sec. IV-A of the
+// paper; values the paper leaves unspecified are documented in DESIGN.md.
+type Params struct {
+	// PathLossExp is the exponent a in Eq. 1. The Yamamoto model the paper
+	// cites reports ≈2.66 for 60 GHz inter-vehicle LOS links.
+	PathLossExp float64
+	// LOSOffsetDB is the distance-independent part of O in Eq. 1 for an
+	// unobstructed link (includes the first-meter free-space loss).
+	LOSOffsetDB float64
+	// BlockerLossDB is the additional attenuation per blocking vehicle body.
+	BlockerLossDB float64
+	// MaxBlockersCounted caps the per-blocker attenuation (deep blockage
+	// saturates).
+	MaxBlockersCounted int
+	// AtmosphericDBPerKm is the 60 GHz oxygen-absorption term (Eq. 1 uses
+	// 15 dB/km).
+	AtmosphericDBPerKm float64
+	// TxPowerDBm is each vehicle's transmission power (paper: 28 dBm).
+	TxPowerDBm float64
+	// NoiseDensityDBmHz is N0 (paper: −174 dBm/Hz).
+	NoiseDensityDBmHz float64
+	// BandwidthHz is the channel bandwidth B (paper: 2.16 GHz).
+	BandwidthHz float64
+	// SideLobeDB is how far the side-lobe gain g² sits below the main-lobe
+	// peak g¹ (not given in the paper; 20 dB is typical for the 3GPP
+	// pattern).
+	SideLobeDB float64
+	// ShadowSigmaDB is the standard deviation of an optional per-link
+	// log-normal shadowing term added to Eq. 1 (the Yamamoto measurements
+	// report several dB of spread; the paper uses the mean model, so the
+	// default is 0). Shadowing is drawn per vehicle pair, static per run.
+	ShadowSigmaDB float64
+}
+
+// DefaultParams returns the paper's channel configuration.
+func DefaultParams() Params {
+	return Params{
+		PathLossExp:        2.66,
+		LOSOffsetDB:        70,
+		BlockerLossDB:      15,
+		MaxBlockersCounted: 3,
+		AtmosphericDBPerKm: 15,
+		TxPowerDBm:         28,
+		NoiseDensityDBmHz:  -174,
+		BandwidthHz:        2.16e9,
+		SideLobeDB:         20,
+		ShadowSigmaDB:      0,
+	}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	switch {
+	case p.PathLossExp <= 0:
+		return fmt.Errorf("channel: non-positive path loss exponent %v", p.PathLossExp)
+	case p.BandwidthHz <= 0:
+		return fmt.Errorf("channel: non-positive bandwidth %v", p.BandwidthHz)
+	case p.SideLobeDB <= 0:
+		return fmt.Errorf("channel: side lobe must sit below main lobe (SideLobeDB=%v)", p.SideLobeDB)
+	case p.BlockerLossDB < 0:
+		return fmt.Errorf("channel: negative blocker loss %v", p.BlockerLossDB)
+	case p.ShadowSigmaDB < 0:
+		return fmt.Errorf("channel: negative shadowing sigma %v", p.ShadowSigmaDB)
+	}
+	return nil
+}
+
+// Model precomputes derived constants of the channel.
+type Model struct {
+	params  Params
+	noiseMw float64
+	txMw    float64
+}
+
+// NewModel validates params and builds a Model.
+func NewModel(params Params) (*Model, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{
+		params:  params,
+		noiseMw: DBmToMw(params.NoiseDensityDBmHz + DB(params.BandwidthHz)),
+		txMw:    DBmToMw(params.TxPowerDBm),
+	}, nil
+}
+
+// Params returns the model's configuration.
+func (m *Model) Params() Params { return m.params }
+
+// NoiseMw returns the thermal noise power N0·B in milliwatts.
+func (m *Model) NoiseMw() float64 { return m.noiseMw }
+
+// NoiseDBm returns the thermal noise power in dBm.
+func (m *Model) NoiseDBm() float64 { return MwToDBm(m.noiseMw) }
+
+// TxPowerMw returns the transmit power in milliwatts.
+func (m *Model) TxPowerMw() float64 { return m.txMw }
+
+// PathLossDB evaluates Eq. 1: a·10·log10(d) + O + 15·d/1000, where O is the
+// LOS offset plus the per-blocker penalty. Distances below 1 m clamp to 1 m.
+func (m *Model) PathLossDB(distM float64, blockers int) float64 {
+	if distM < 1 {
+		distM = 1
+	}
+	if blockers < 0 {
+		blockers = 0
+	}
+	if blockers > m.params.MaxBlockersCounted {
+		blockers = m.params.MaxBlockersCounted
+	}
+	o := m.params.LOSOffsetDB + float64(blockers)*m.params.BlockerLossDB
+	return m.params.PathLossExp*10*math.Log10(distM) + o + m.params.AtmosphericDBPerKm*distM/1000
+}
+
+// PathGainLin returns the linear channel power gain g^c for a link
+// (always < 1).
+func (m *Model) PathGainLin(distM float64, blockers int) float64 {
+	return Lin(-m.PathLossDB(distM, blockers))
+}
+
+// SNRdB returns the interference-free SNR of a link given beam gains.
+func (m *Model) SNRdB(distM float64, blockers int, txGainLin, rxGainLin float64) float64 {
+	rx := m.txMw * txGainLin * m.PathGainLin(distM, blockers) * rxGainLin
+	return DB(rx / m.noiseMw)
+}
+
+// SINR computes Eq. 3 from a desired received power and a sum of
+// interference powers, all in milliwatts, returning the ratio in dB.
+func (m *Model) SINR(desiredMw, interferenceMw float64) float64 {
+	return DB(desiredMw / (m.noiseMw + interferenceMw))
+}
+
+// gaussMainLobeConst is the 3 · ln(10) / 10 exponent constant of Eq. 2
+// (10^{-0.3 x²} = e^{-c x²}).
+const gaussMainLobeConst = 0.3 * math.Ln10
+
+// Pattern is a 3GPP-style antenna pattern (Eq. 2) for one 3 dB beam width:
+// a Gaussian main lobe of peak gain g1 and a flat side lobe g2, with the
+// main/side boundary θ1 = (ω/2)·sqrt((10/3)·log10(g1/g2)) from the paper.
+type Pattern struct {
+	// Width is the 3 dB beam width ω in radians.
+	Width float64
+	// G1 is the main-lobe peak gain (linear).
+	G1 float64
+	// G2 is the side-lobe gain (linear).
+	G2 float64
+	// Theta1 is the main-lobe boundary in radians.
+	Theta1 float64
+}
+
+// NewPattern derives a pattern for the given 3 dB beam width. The peak gain
+// g1 is solved from 2-D energy conservation — the integral of the pattern
+// over the full circle equals 2π — with the side lobe fixed SideLobeDB below
+// the peak, so narrower beams get proportionally higher gain (the physical
+// tradeoff the paper's heterogeneous Tx/Rx widths exploit).
+func NewPattern(widthRad float64, sideLobeDB float64) Pattern {
+	if widthRad <= 0 || widthRad > 2*math.Pi {
+		panic(fmt.Sprintf("channel: invalid beam width %v rad", widthRad))
+	}
+	rho := Lin(-sideLobeDB) // g2/g1
+	half := widthRad / 2
+	// θ1 from the paper's boundary formula with g1/g2 = 1/rho.
+	theta1 := half * math.Sqrt(10.0/3.0*math.Log10(1/rho))
+	if theta1 > math.Pi {
+		theta1 = math.Pi
+	}
+	// ∫_{-θ1}^{θ1} e^{-c (γ/half)²} dγ = half·sqrt(π/c)·erf(sqrt(c)·θ1/half)
+	c := gaussMainLobeConst
+	mainIntegral := half * math.Sqrt(math.Pi/c) * math.Erf(math.Sqrt(c)*theta1/half)
+	g1 := 2 * math.Pi / (mainIntegral + rho*(2*math.Pi-2*theta1))
+	return Pattern{Width: widthRad, G1: g1, G2: g1 * rho, Theta1: theta1}
+}
+
+// Gain evaluates Eq. 2 at off-boresight angle gamma (radians, any sign),
+// returning linear gain.
+func (p Pattern) Gain(gamma float64) float64 {
+	gamma = math.Abs(gamma)
+	if gamma > math.Pi {
+		gamma = 2*math.Pi - gamma
+	}
+	if gamma < p.Theta1 {
+		x := gamma / (p.Width / 2)
+		return p.G1 * math.Exp(-gaussMainLobeConst*x*x)
+	}
+	return p.G2
+}
+
+// PeakGainDB returns the boresight gain in dBi.
+func (p Pattern) PeakGainDB() float64 { return DB(p.G1) }
+
+// OmniPattern returns an isotropic (0 dBi) pattern, used for quasi-omni
+// listening in the 802.11ad baseline.
+func OmniPattern() Pattern {
+	// Theta1 of zero routes every angle to the flat G2 branch.
+	return Pattern{Width: 2 * math.Pi, G1: 1, G2: 1, Theta1: 0}
+}
+
+// PatternCache memoizes patterns by beam width; the simulator uses only a
+// handful of widths (α, β, θ_min, quasi-omni) but evaluates gains millions
+// of times.
+type PatternCache struct {
+	sideLobeDB float64
+	byWidth    map[float64]Pattern
+}
+
+// NewPatternCache builds a cache with the given side-lobe level.
+func NewPatternCache(sideLobeDB float64) *PatternCache {
+	return &PatternCache{sideLobeDB: sideLobeDB, byWidth: make(map[float64]Pattern)}
+}
+
+// Get returns the pattern for a beam width, deriving it on first use.
+func (c *PatternCache) Get(widthRad float64) Pattern {
+	if p, ok := c.byWidth[widthRad]; ok {
+		return p
+	}
+	p := NewPattern(widthRad, c.sideLobeDB)
+	c.byWidth[widthRad] = p
+	return p
+}

@@ -1,0 +1,127 @@
+// Package core implements the mmV2V protocol — the paper's contribution
+// (Sec. III): Synchronized Neighbor Discovery (SND), Distributed Consensual
+// Matching (DCM) with the Consensual Neighbor Schedule (CNS) hash slotting,
+// and Unicast Data Transmission (UDT) with beam refinement. It also provides
+// the centralized greedy oracle used as the matching upper bound in
+// ablations (the OHM schedule itself is NP-hard, Theorem 1).
+//
+// All protocol decisions use only locally observable state: a vehicle's own
+// random stream, GPS time/heading (vehicles are GPS-synchronized in the
+// system model), and control frames it actually decoded over the shared
+// medium.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mmv2v/internal/phy"
+	"mmv2v/internal/xrand"
+)
+
+// Params are the mmV2V protocol parameters (Sec. III and IV-B).
+type Params struct {
+	// P is the transmitter-role probability in SND (Theorem 2: 0.5 is
+	// optimal).
+	P float64
+	// K is the number of discovery rounds per frame (paper sweep: 1–4,
+	// chosen 3).
+	K int
+	// M is the number of DCM negotiation slots (paper sweep: 20–80,
+	// chosen 40).
+	M int
+	// C is the CNS hash modulus separating neighbors into slots (paper
+	// sweep: 1–12, chosen 7).
+	C int
+	// Codebook is the beam configuration (S=24 sectors, α=30°, β=12°,
+	// θ_min=3°).
+	Codebook phy.Codebook
+	// HashSeed seeds the common hash function H shared by all vehicles.
+	HashSeed uint64
+	// StalenessFrames bounds how long a discovered neighbor stays in the
+	// working set ∪_f N_i^f without being re-discovered. The paper keeps
+	// the union over all frames; mobility makes stale entries useless, so
+	// we expire them (15 frames = 300 ms by default).
+	StalenessFrames int
+	// MinLinkSNRdB is the admission threshold for discovery: SSW receptions
+	// below it are ignored. It is the radio-level embodiment of the paper's
+	// "communication range" — the default corresponds to the SNR of an
+	// unblocked link at the world's 50 m neighbor radius with the α/β
+	// discovery beams.
+	MinLinkSNRdB float64
+	// ExplicitRefinement runs the Sec. III-D cross search as real probe and
+	// feedback transmissions over the shared medium instead of the
+	// closed-form model: concurrent pairs interfere and a failed search
+	// idles the pair for the frame. Slightly slower to simulate; default
+	// off (the closed-form outcome is what the search converges to when it
+	// succeeds).
+	ExplicitRefinement bool
+	// SyncJitter is an extension beyond the paper's perfect-GPS assumption:
+	// each vehicle's clock is offset by a fixed uniform draw in
+	// [-SyncJitter, +SyncJitter], shifting its SND sweep/sense timing. The
+	// paper argues GPS keeps vehicles within 100 ns — far below the 1 µs
+	// beam switch — so the default is 0; the ablation quantifies how much
+	// synchronization the discovery design actually needs.
+	SyncJitter time.Duration
+	// BeamTracking is an extension beyond the paper: when set, UDT re-runs
+	// the narrow-beam cross search at every 5 ms link refresh instead of
+	// holding the frame-start beams, modeling receivers that track their
+	// peer through the frame (cf. the beam-tracking literature the paper
+	// cites in related work).
+	BeamTracking bool
+	// FairnessBiasDB is an extension beyond the paper: DCM candidate
+	// quality becomes linkSNR + bias·(1 − η), where η is the pair's task
+	// progress, steering matches toward under-served neighbors. The paper's
+	// pure-SNR objective (bias = 0, the default) maximizes throughput but
+	// yields high DTP at high density (Sec. IV-C); a positive bias trades
+	// throughput for fairness. Both endpoints know D_{i,j}, so the biased
+	// quality stays consensual.
+	FairnessBiasDB float64
+}
+
+// DefaultParams returns the paper's chosen configuration
+// (Sec. IV-C: α=30°, β=12°, θ=15°, C=7, K=3, M=40).
+func DefaultParams() Params {
+	return Params{
+		P:               0.5,
+		K:               3,
+		M:               40,
+		C:               7,
+		Codebook:        phy.DefaultCodebook(),
+		HashSeed:        0x6d6d565256, // "mmV2V"
+		StalenessFrames: 15,
+		MinLinkSNRdB:    16,
+	}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	switch {
+	case p.P <= 0 || p.P >= 1:
+		return fmt.Errorf("core: role probability %v outside (0,1)", p.P)
+	case p.K <= 0:
+		return fmt.Errorf("core: non-positive discovery rounds %d", p.K)
+	case p.M <= 0:
+		return fmt.Errorf("core: non-positive negotiation slots %d", p.M)
+	case p.C <= 0:
+		return fmt.Errorf("core: non-positive hash modulus %d", p.C)
+	case p.StalenessFrames <= 0:
+		return fmt.Errorf("core: non-positive staleness %d", p.StalenessFrames)
+	case p.SyncJitter < 0:
+		return fmt.Errorf("core: negative sync jitter %v", p.SyncJitter)
+	}
+	return p.Codebook.Validate()
+}
+
+// Hash is the common hash function H of the CNS: every vehicle evaluates the
+// same H, so a pair (i, j) lands in the same negotiation slot on both sides.
+func (p Params) Hash(id int) uint64 {
+	return xrand.Mix(p.HashSeed, uint64(id))
+}
+
+// Bucket returns the CNS bucket of pair (i, j):
+// (H(i) + H(j)) mod C (Fig. 4). Negotiation slot m serves bucket m mod C,
+// so a pair recurs every C slots while m < M.
+func (p Params) Bucket(i, j int) int {
+	return int((p.Hash(i) + p.Hash(j)) % uint64(p.C))
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"time"
+
+	"mmv2v/internal/des"
+	"mmv2v/internal/medium"
+	"mmv2v/internal/phy"
+	"mmv2v/internal/udt"
+)
+
+// Explicit beam refinement: when Params.ExplicitRefinement is set, the
+// Sec. III-D cross search runs as real transmissions over the shared medium
+// instead of the closed-form model — each side probes its s narrow beams
+// while the peer listens on its wide discovery beam, then the sides exchange
+// feedback naming the best probe. Concurrent pairs interfere, probes and
+// feedback can be lost, and a pair whose search fails idles the frame.
+//
+// Slot layout (all pairs synchronized, A = smaller ID):
+//
+//	s slots: A probes narrow beams 0..s-1; B listens wide
+//	s slots: B probes; A listens wide
+//	1 slot:  A sends feedback (B's best probe index); B listens
+//	1 slot:  B sends feedback; A listens
+//
+// Success for a side = decoded ≥1 peer probe (fixes its receive beam) and
+// decoded the peer's feedback (fixes its transmit beam; by array
+// reciprocity both are the same index, so one confirmed index suffices).
+
+// refineProbe is a narrow-beam training frame.
+type refineProbe struct {
+	from, to int
+	beamIdx  int
+}
+
+// refineFeedback reports the best received probe index back to the prober.
+type refineFeedback struct {
+	from, to int
+	bestIdx  int
+	ok       bool
+}
+
+// refineState tracks one vehicle's cross-search progress in a frame.
+type refineState struct {
+	peer int
+	// coarse is the discovery sector toward the peer.
+	coarse int
+	// bestIdx/bestSNR track the strongest decoded peer probe.
+	bestIdx int
+	bestSNR float64
+	gotAny  bool
+	// fbIdx is the beam index the peer reported back (-1 until received).
+	fbIdx int
+}
+
+// explicitRefinementDuration is the on-air cross search length:
+// two probe sweeps plus two feedback exchanges.
+func (p *Protocol) explicitRefinementDuration() time.Duration {
+	s := time.Duration(p.cfg.Codebook.RefinementBeams())
+	probe := 2 * s * p.env.Timing.SectorSlot()
+	feedback := 2 * (p.env.Timing.ControlPreamble + p.env.Timing.SIFS)
+	return probe + feedback
+}
+
+// scheduleExplicitRefinement runs the cross search for the given mutual
+// pairs and calls done with the pairs whose search succeeded on both sides.
+func (p *Protocol) scheduleExplicitRefinement(pairs [][2]int, start des.Time, done func([]udt.Pair)) {
+	n := p.env.N()
+	states := make([]*refineState, n)
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		ca, cb := -1, -1
+		if info := p.discovered[a][b]; info != nil {
+			ca = info.towardSector
+		}
+		if info := p.discovered[b][a]; info != nil {
+			cb = info.towardSector
+		}
+		if ca < 0 || cb < 0 {
+			continue
+		}
+		states[a] = &refineState{peer: b, coarse: ca, bestIdx: -1, fbIdx: -1}
+		states[b] = &refineState{peer: a, coarse: cb, bestIdx: -1, fbIdx: -1}
+	}
+
+	slot := p.env.Timing.SectorSlot()
+	s := p.cfg.Codebook.RefinementBeams()
+	// Phase 1: smaller IDs probe. Phase 2: larger IDs probe.
+	for phase := 0; phase < 2; phase++ {
+		for k := 0; k < s; k++ {
+			at := start.Add(time.Duration(phase*s+k) * slot).Add(p.env.Timing.BeamSwitch)
+			phase, k := phase, k
+			p.env.Sim.ScheduleAt(at, "mmv2v.refine.probe", func() {
+				p.refineProbeSlot(states, phase, k)
+			})
+		}
+	}
+	fbStart := start.Add(2 * time.Duration(s) * slot)
+	fbStep := p.env.Timing.ControlPreamble + p.env.Timing.SIFS
+	p.env.Sim.ScheduleAt(fbStart, "mmv2v.refine.fb0", func() { p.refineFeedbackSlot(states, 0) })
+	p.env.Sim.ScheduleAt(fbStart.Add(fbStep), "mmv2v.refine.fb1", func() { p.refineFeedbackSlot(states, 1) })
+	p.env.Sim.ScheduleAt(fbStart.Add(2*fbStep), "mmv2v.refine.done", func() {
+		done(p.collectRefined(states, pairs))
+	})
+}
+
+// refineProbeSlot fires probe k of every prober in the phase while peers
+// listen on their wide discovery beams.
+func (p *Protocol) refineProbeSlot(states []*refineState, phase, k int) {
+	cb := p.cfg.Codebook
+	// Listeners first (must be aimed before probes start resolving).
+	for i, st := range states {
+		if st == nil || p.probesInPhase(i, st.peer, phase) {
+			continue
+		}
+		beam := phy.Beam{Bearing: cb.Sectors.Center(st.coarse), Width: cb.RxWidth}
+		i := i
+		p.env.Medium.StartListen(i, beam, func(d medium.Delivery) { p.onProbe(i, states, d) })
+	}
+	for i, st := range states {
+		if st == nil || !p.probesInPhase(i, st.peer, phase) {
+			continue
+		}
+		coarse := cb.Sectors.Center(st.coarse)
+		beam := phy.Beam{Bearing: cb.NarrowBeamBearing(coarse, k), Width: cb.NarrowWidth}
+		p.env.Medium.Transmit(i, beam, p.env.Timing.SSW, refineProbe{from: i, to: st.peer, beamIdx: k})
+	}
+}
+
+// probesInPhase reports whether vehicle i transmits probes in the phase
+// (smaller ID probes first).
+func (p *Protocol) probesInPhase(i, peer, phase int) bool {
+	if phase == 0 {
+		return i < peer
+	}
+	return i > peer
+}
+
+// onProbe records the strongest decoded probe from the expected peer.
+func (p *Protocol) onProbe(me int, states []*refineState, d medium.Delivery) {
+	st := states[me]
+	if st == nil {
+		return
+	}
+	probe, ok := d.Payload.(refineProbe)
+	if !ok || probe.to != me || probe.from != st.peer {
+		return
+	}
+	if !st.gotAny || d.SINRdB > st.bestSNR {
+		st.gotAny = true
+		st.bestSNR = d.SINRdB
+		st.bestIdx = probe.beamIdx
+	}
+}
+
+// refineFeedbackSlot sends each side's feedback (sub-slot 0: smaller IDs;
+// 1: larger IDs) while the peer listens.
+func (p *Protocol) refineFeedbackSlot(states []*refineState, sub int) {
+	cb := p.cfg.Codebook
+	for i, st := range states {
+		if st == nil {
+			continue
+		}
+		sends := (sub == 0) == (i < st.peer)
+		if sends {
+			continue
+		}
+		beam := phy.Beam{Bearing: cb.Sectors.Center(st.coarse), Width: cb.RxWidth}
+		i := i
+		p.env.Medium.StartListen(i, beam, func(d medium.Delivery) {
+			fb, ok := d.Payload.(refineFeedback)
+			if !ok || fb.to != i || !fb.ok {
+				return
+			}
+			if s := states[i]; s != nil && fb.from == s.peer {
+				s.fbIdx = fb.bestIdx
+			}
+		})
+	}
+	for i, st := range states {
+		if st == nil {
+			continue
+		}
+		sends := (sub == 0) == (i < st.peer)
+		if !sends {
+			continue
+		}
+		beam := phy.Beam{Bearing: cb.Sectors.Center(st.coarse), Width: cb.TxWidth}
+		p.env.Medium.Transmit(i, beam, p.env.Timing.ControlPreamble,
+			refineFeedback{from: i, to: st.peer, bestIdx: st.bestIdx, ok: st.gotAny})
+	}
+}
+
+// collectRefined returns the pairs whose cross search succeeded on both
+// sides, with the trained narrow beams.
+func (p *Protocol) collectRefined(states []*refineState, pairs [][2]int) []udt.Pair {
+	cb := p.cfg.Codebook
+	var out []udt.Pair
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		sa, sb := states[a], states[b]
+		if sa == nil || sb == nil {
+			continue
+		}
+		// Each side needs its transmit beam confirmed by the peer's
+		// feedback; by reciprocity the same index serves for receive.
+		if sa.fbIdx < 0 || sb.fbIdx < 0 {
+			p.RefineFailures++
+			continue
+		}
+		beamA := phy.Beam{Bearing: cb.NarrowBeamBearing(cb.Sectors.Center(sa.coarse), sa.fbIdx), Width: cb.NarrowWidth}
+		beamB := phy.Beam{Bearing: cb.NarrowBeamBearing(cb.Sectors.Center(sb.coarse), sb.fbIdx), Width: cb.NarrowWidth}
+		out = append(out, udt.Pair{A: a, B: b, BeamA: beamA, BeamB: beamB})
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"mmv2v/internal/udt"
+)
+
+// udtState tracks the UDT phase of the current frame.
+type udtState struct {
+	session *udt.Session
+}
+
+// startUDT runs at the end of DCM (Sec. III-D): mutually agreed pairs
+// refine beams via the cross search (a fixed time cost, outcome modeled by
+// udt.RefineBeams) and then stream data for the remainder of the frame.
+//
+// A vehicle whose candidate did not reciprocate (a rare DCM inconsistency)
+// gets no response to its refinement probes and idles the frame.
+func (p *Protocol) startUDT() {
+	var mutual [][2]int
+	n := p.env.N()
+	for i := 0; i < n; i++ {
+		ci := p.cand[i]
+		if !ci.valid || ci.peer <= i {
+			continue
+		}
+		j := ci.peer
+		if !p.cand[j].valid || p.cand[j].peer != i {
+			continue
+		}
+		if p.env.PairDone(i, j) {
+			continue
+		}
+		mutual = append(mutual, [2]int{i, j})
+	}
+	streamStart := p.env.Sim.Now().Add(p.RefinementDuration())
+	if streamStart >= p.frameEnd || len(mutual) == 0 {
+		return
+	}
+	if p.cfg.ExplicitRefinement {
+		p.scheduleExplicitRefinement(mutual, p.env.Sim.Now(), func(pairs []udt.Pair) {
+			p.openSession(pairs)
+		})
+		return
+	}
+	var pairs []udt.Pair
+	for _, pr := range mutual {
+		i, j := pr[0], pr[1]
+		coarseI, coarseJ := -1, -1
+		if info := p.discovered[i][j]; info != nil {
+			coarseI = info.towardSector
+		}
+		if info := p.discovered[j][i]; info != nil {
+			coarseJ = info.towardSector
+		}
+		beamI, beamJ := udt.RefineBeams(p.env, i, j, p.cfg.Codebook, coarseI, coarseJ)
+		pairs = append(pairs, udt.Pair{A: i, B: j, BeamA: beamI, BeamB: beamJ})
+	}
+	p.env.Sim.ScheduleAt(streamStart, "mmv2v.udt.stream", func() { p.openSession(pairs) })
+}
+
+// openSession starts the UDT data plane for refined pairs.
+func (p *Protocol) openSession(pairs []udt.Pair) {
+	if len(pairs) == 0 {
+		return
+	}
+	p.udt.session = udt.Start(p.env, pairs, p.frame)
+	if p.cfg.BeamTracking {
+		p.udt.session.EnableTracking(p.cfg.Codebook)
+	}
+}
+
+// onRefresh is the 5 ms link-refresh hook driving UDT rate adaptation.
+func (p *Protocol) onRefresh() {
+	if p.udt.session != nil {
+		p.udt.session.OnRefresh()
+	}
+}
+
+// teardownUDT settles the ledger and removes all streams at a frame
+// boundary.
+func (p *Protocol) teardownUDT() {
+	if p.udt.session != nil {
+		p.udt.session.Stop()
+		p.udt.session = nil
+	}
+}
+
+// ActivePairs returns the number of streaming pairs (for tests).
+func (p *Protocol) ActivePairs() int {
+	if p.udt.session == nil {
+		return 0
+	}
+	return p.udt.session.ActivePairs()
+}

@@ -1,0 +1,239 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	tm := At(20 * time.Millisecond)
+	if tm != Time(20_000_000) {
+		t.Errorf("At(20ms) = %d", tm)
+	}
+	if got := tm.Add(5 * time.Millisecond); got != Time(25_000_000) {
+		t.Errorf("Add = %d", got)
+	}
+	if got := tm.Sub(At(15 * time.Millisecond)); got != 5*time.Millisecond {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := At(time.Second).Seconds(); got != 1.0 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if Infinity.String() != "+inf" {
+		t.Errorf("Infinity.String = %q", Infinity.String())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.ScheduleAt(At(30*time.Microsecond), "c", func() { order = append(order, 3) })
+	s.ScheduleAt(At(10*time.Microsecond), "a", func() { order = append(order, 1) })
+	s.ScheduleAt(At(20*time.Microsecond), "b", func() { order = append(order, 2) })
+	s.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != At(30*time.Microsecond) {
+		t.Errorf("Now = %v", s.Now())
+	}
+	if s.Executed() != 3 {
+		t.Errorf("Executed = %d", s.Executed())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.ScheduleAt(At(time.Millisecond), "tie", func() { order = append(order, i) })
+	}
+	s.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleAfterNesting(t *testing.T) {
+	s := New()
+	var times []Time
+	s.ScheduleAfter(time.Millisecond, "outer", func() {
+		times = append(times, s.Now())
+		s.ScheduleAfter(time.Millisecond, "inner", func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.RunAll()
+	if len(times) != 2 || times[0] != At(time.Millisecond) || times[1] != At(2*time.Millisecond) {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestRunUntilStopsAndAdvancesClock(t *testing.T) {
+	s := New()
+	ran := 0
+	s.ScheduleAt(At(time.Millisecond), "early", func() { ran++ })
+	s.ScheduleAt(At(3*time.Millisecond), "late", func() { ran++ })
+	s.Run(At(2 * time.Millisecond))
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1", ran)
+	}
+	if s.Now() != At(2*time.Millisecond) {
+		t.Errorf("Now = %v, want 2ms", s.Now())
+	}
+	s.RunAll()
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2", ran)
+	}
+}
+
+func TestEventAtBoundaryNotRun(t *testing.T) {
+	s := New()
+	ran := false
+	s.ScheduleAt(At(time.Millisecond), "boundary", func() { ran = true })
+	s.Run(At(time.Millisecond))
+	if ran {
+		t.Error("event at until-boundary should not run")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	h := s.ScheduleAt(At(time.Millisecond), "x", func() { ran = true })
+	h.Cancel()
+	h.Cancel() // double-cancel is a no-op
+	s.RunAll()
+	if ran {
+		t.Error("canceled event ran")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.ScheduleAt(At(time.Millisecond), "x", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		s.ScheduleAt(0, "past", func() {})
+	})
+	s.RunAll()
+}
+
+func TestEvery(t *testing.T) {
+	s := New()
+	var ticks []int
+	var at []Time
+	s.Every(At(time.Millisecond), 5*time.Millisecond, At(20*time.Millisecond), "tick", func(tick int) {
+		ticks = append(ticks, tick)
+		at = append(at, s.Now())
+	})
+	s.RunAll()
+	if len(ticks) != 4 {
+		t.Fatalf("ticks = %v, want 4 entries", ticks)
+	}
+	for i, tk := range ticks {
+		if tk != i {
+			t.Errorf("tick %d = %d", i, tk)
+		}
+	}
+	if at[3] != At(16*time.Millisecond) {
+		t.Errorf("last tick at %v, want 16ms", at[3])
+	}
+}
+
+func TestEveryCancelMidway(t *testing.T) {
+	s := New()
+	count := 0
+	var h Handle
+	h = s.Every(0, time.Millisecond, Infinity, "tick", func(tick int) {
+		count++
+		if tick == 2 {
+			h.Cancel()
+		}
+	})
+	s.Run(At(100 * time.Millisecond))
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func TestEveryZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every with zero period should panic")
+		}
+	}()
+	New().Every(0, 0, Infinity, "bad", func(int) {})
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	n := 0
+	s.ScheduleAt(At(time.Millisecond), "a", func() { n++ })
+	s.ScheduleAt(At(2*time.Millisecond), "b", func() { n++ })
+	if !s.Step() || n != 1 {
+		t.Errorf("first Step: n=%d", n)
+	}
+	if !s.Step() || n != 2 {
+		t.Errorf("second Step: n=%d", n)
+	}
+	if s.Step() {
+		t.Error("Step on empty queue should return false")
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.ScheduleAt(At(time.Millisecond), "e", func() {})
+	}
+	if s.Pending() != 5 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	s.RunAll()
+	if s.Pending() != 0 {
+		t.Errorf("Pending after run = %d", s.Pending())
+	}
+}
+
+func TestHeapPropertyRandomized(t *testing.T) {
+	// Events scheduled in arbitrary order always execute in time order.
+	f := func(offsets []uint32) bool {
+		s := New()
+		var fired []Time
+		for _, off := range offsets {
+			at := Time(off % 1_000_000)
+			s.ScheduleAt(at, "r", func() { fired = append(fired, s.Now()) })
+		}
+		s.RunAll()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	s := New()
+	s.ScheduleAt(At(time.Millisecond), "x", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("reentrant Run should panic")
+			}
+		}()
+		s.RunAll()
+	})
+	s.RunAll()
+}

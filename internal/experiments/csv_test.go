@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"mmv2v/internal/metrics"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestFig6CSV(t *testing.T) {
+	r := &Fig6Result{
+		Opts: Fig6Options{MaxSlots: 2},
+		Scenarios: []Fig6Scenario{{
+			DensityVPL:   12,
+			AvgNeighbors: 5.2,
+			Series:       []Fig6Series{{C: 7, CapacityBps: []float64{1e9, 2e9}}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "density_vpl" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[2][3] != "2" || rows[2][4] != "2e+09" {
+		t.Errorf("last row = %v", rows[2])
+	}
+}
+
+func TestFig7CSV(t *testing.T) {
+	r := &Fig7Result{
+		Opts: Fig7Options{CurvePoints: 3},
+		Curves: []Fig7Curve{{
+			K: 3, MeanOCR: 0.7, MeanATP: 0.8,
+			OCRCDF: metrics.NewCDF([]float64{0.5, 1.0}),
+			ATPCDF: metrics.NewCDF([]float64{0.6, 0.9}),
+		}},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	// header + 2 means + 3 points × 2 metrics = 9
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d: %v", len(rows), rows)
+	}
+	if rows[1][1] != "mean_ocr" || rows[1][3] != "0.7" {
+		t.Errorf("mean row = %v", rows[1])
+	}
+}
+
+func TestFig8CSV(t *testing.T) {
+	r := &Fig8Result{
+		Opts: Fig8Options{CurvePoints: 2},
+		Curves: []Fig8Curve{{
+			M: 40, MeanOCR: 0.6, MeanATP: 0.7,
+			OCRCDF: metrics.NewCDF([]float64{1}),
+			ATPCDF: metrics.NewCDF([]float64{1}),
+		}},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestFig9CSV(t *testing.T) {
+	r := &Fig9Result{
+		Protocols: []string{"mmV2V"},
+		Rows: []Fig9Row{{
+			DensityVPL:   15,
+			AvgNeighbors: 6.7,
+			Cells: []Fig9Cell{{
+				Protocol: "mmV2V",
+				Summary:  metrics.Summary{MeanOCR: 0.72, MeanATP: 0.73, MeanDTP: 0.39},
+			}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][2] != "mmV2V" || rows[1][3] != "0.72" {
+		t.Errorf("row = %v", rows[1])
+	}
+}
+
+func TestTheorem2CSV(t *testing.T) {
+	r := &Theorem2Result{
+		Cells: []Theorem2Cell{
+			{P: 0.5, K: 3, Analytic: 0.875, Empirical: 0.874},
+			{P: 0.3, K: 3, Analytic: 0.8, Empirical: 0.81},
+		},
+		SimRatioPerK: map[int]float64{3: 0.62},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][4] != "0.62" {
+		t.Errorf("p=0.5 row missing in-sim value: %v", rows[1])
+	}
+	if rows[2][4] != "" {
+		t.Errorf("p=0.3 row should have empty in-sim: %v", rows[2])
+	}
+}
+
+func TestAblationCSV(t *testing.T) {
+	r := &AblationResult{
+		Rows: []AblationRow{{
+			Variant: "mmV2V (paper config)",
+			Summary: metrics.Summary{MeanOCR: 0.6, MeanATP: 0.65, MeanDTP: 0.4},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 2 || rows[1][0] != "mmV2V (paper config)" {
+		t.Errorf("rows = %v", rows)
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mmv2v/internal/core"
+	"mmv2v/internal/metrics"
+	"mmv2v/internal/sim"
+)
+
+// Fig7Options parameterize the Fig. 7 study: CDFs of OCR and ATP for
+// different numbers of neighbor discovery rounds K (paper: K = 1..4 at
+// 20 vpl with M = 40, repeated trials, metrics at the end of each second).
+type Fig7Options struct {
+	Seed       uint64
+	Trials     int
+	DensityVPL float64
+	KValues    []int
+	M          int
+	// CurvePoints samples each CDF for printing.
+	CurvePoints int
+}
+
+// DefaultFig7Options returns the paper's configuration (with fewer trials
+// than the paper's 100 by default; raise Trials to match).
+func DefaultFig7Options() Fig7Options {
+	return Fig7Options{
+		Seed:        1,
+		Trials:      5,
+		DensityVPL:  20,
+		KValues:     []int{1, 2, 3, 4},
+		M:           40,
+		CurvePoints: 11,
+	}
+}
+
+// Fig7Curve holds one K value's pooled distribution.
+type Fig7Curve struct {
+	K       int
+	MeanOCR float64
+	MeanATP float64
+	OCRCDF  metrics.CDF
+	ATPCDF  metrics.CDF
+}
+
+// Fig7Result is the full study.
+type Fig7Result struct {
+	Opts   Fig7Options
+	Curves []Fig7Curve
+}
+
+// Fig7 runs the study.
+func Fig7(opts Fig7Options) (*Fig7Result, error) {
+	if opts.Trials <= 0 || len(opts.KValues) == 0 {
+		return nil, fmt.Errorf("experiments: invalid Fig7 options %+v", opts)
+	}
+	res := &Fig7Result{Opts: opts}
+	for _, k := range opts.KValues {
+		params := core.DefaultParams()
+		params.K = k
+		params.M = opts.M
+		cfg := scenario(opts.DensityVPL, opts.Seed)
+		pooled, err := sim.RunTrials(cfg, core.Factory(params), opts.Trials)
+		if err != nil {
+			return nil, err
+		}
+		var ocrs, atps []float64
+		for _, s := range pooled.Stats {
+			ocrs = append(ocrs, s.OCR)
+			atps = append(atps, s.ATP)
+		}
+		res.Curves = append(res.Curves, Fig7Curve{
+			K:       k,
+			MeanOCR: pooled.Summary.MeanOCR,
+			MeanATP: pooled.Summary.MeanATP,
+			OCRCDF:  metrics.NewCDF(ocrs),
+			ATPCDF:  metrics.NewCDF(atps),
+		})
+	}
+	return res, nil
+}
+
+// BestK returns the K with the highest mean OCR (paper: K = 3).
+func (r *Fig7Result) BestK() int {
+	best, bestOCR := 0, -1.0
+	for _, c := range r.Curves {
+		if c.MeanOCR > bestOCR {
+			bestOCR = c.MeanOCR
+			best = c.K
+		}
+	}
+	return best
+}
+
+// WriteTable prints the CDF curves (x, P(X≤x)) and the means.
+func (r *Fig7Result) WriteTable(w io.Writer) {
+	writeHeader(w, "Fig. 7 — effect of discovery rounds K (CDFs of OCR and ATP)")
+	fmt.Fprintf(w, "%-4s  %-9s %-9s\n", "K", "mean OCR", "mean ATP")
+	for _, c := range r.Curves {
+		fmt.Fprintf(w, "K=%-2d  %-9.3f %-9.3f\n", c.K, c.MeanOCR, c.MeanATP)
+	}
+	writeCDFs(w, "OCR CDF", r.Opts.CurvePoints, func(i int) (string, metrics.CDF) {
+		return fmt.Sprintf("K=%d", r.Curves[i].K), r.Curves[i].OCRCDF
+	}, len(r.Curves))
+	writeCDFs(w, "ATP CDF", r.Opts.CurvePoints, func(i int) (string, metrics.CDF) {
+		return fmt.Sprintf("K=%d", r.Curves[i].K), r.Curves[i].ATPCDF
+	}, len(r.Curves))
+}
+
+// writeCDFs prints a family of CDFs sampled on a common [0, 1] grid.
+func writeCDFs(w io.Writer, title string, points int, curve func(i int) (string, metrics.CDF), n int) {
+	if points < 2 {
+		points = 2
+	}
+	fmt.Fprintf(w, "%s:\n%-8s", title, "x")
+	for i := 0; i < n; i++ {
+		name, _ := curve(i)
+		fmt.Fprintf(w, "  %-6s", name)
+	}
+	fmt.Fprintln(w)
+	for p := 0; p < points; p++ {
+		x := float64(p) / float64(points-1)
+		fmt.Fprintf(w, "%-8.2f", x)
+		for i := 0; i < n; i++ {
+			_, cdf := curve(i)
+			fmt.Fprintf(w, "  %-6.3f", cdf.P(x))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mmv2v/internal/core"
+	"mmv2v/internal/metrics"
+	"mmv2v/internal/sim"
+)
+
+// Fig8Options parameterize the Fig. 8 study: CDFs of OCR and ATP for
+// different numbers of negotiation slots M (paper: M = 20..80 step 20 at
+// 20 vpl with K = 3).
+type Fig8Options struct {
+	Seed        uint64
+	Trials      int
+	DensityVPL  float64
+	MValues     []int
+	K           int
+	CurvePoints int
+}
+
+// DefaultFig8Options returns the paper's configuration.
+func DefaultFig8Options() Fig8Options {
+	return Fig8Options{
+		Seed:        1,
+		Trials:      5,
+		DensityVPL:  20,
+		MValues:     []int{20, 40, 60, 80},
+		K:           3,
+		CurvePoints: 11,
+	}
+}
+
+// Fig8Curve holds one M value's pooled distribution.
+type Fig8Curve struct {
+	M       int
+	MeanOCR float64
+	MeanATP float64
+	OCRCDF  metrics.CDF
+	ATPCDF  metrics.CDF
+}
+
+// Fig8Result is the full study.
+type Fig8Result struct {
+	Opts   Fig8Options
+	Curves []Fig8Curve
+}
+
+// Fig8 runs the study.
+func Fig8(opts Fig8Options) (*Fig8Result, error) {
+	if opts.Trials <= 0 || len(opts.MValues) == 0 {
+		return nil, fmt.Errorf("experiments: invalid Fig8 options %+v", opts)
+	}
+	res := &Fig8Result{Opts: opts}
+	for _, m := range opts.MValues {
+		params := core.DefaultParams()
+		params.K = opts.K
+		params.M = m
+		cfg := scenario(opts.DensityVPL, opts.Seed)
+		pooled, err := sim.RunTrials(cfg, core.Factory(params), opts.Trials)
+		if err != nil {
+			return nil, err
+		}
+		var ocrs, atps []float64
+		for _, s := range pooled.Stats {
+			ocrs = append(ocrs, s.OCR)
+			atps = append(atps, s.ATP)
+		}
+		res.Curves = append(res.Curves, Fig8Curve{
+			M:       m,
+			MeanOCR: pooled.Summary.MeanOCR,
+			MeanATP: pooled.Summary.MeanATP,
+			OCRCDF:  metrics.NewCDF(ocrs),
+			ATPCDF:  metrics.NewCDF(atps),
+		})
+	}
+	return res, nil
+}
+
+// BestM returns the M with the highest mean OCR (paper: M = 40).
+func (r *Fig8Result) BestM() int {
+	best, bestOCR := 0, -1.0
+	for _, c := range r.Curves {
+		if c.MeanOCR > bestOCR {
+			bestOCR = c.MeanOCR
+			best = c.M
+		}
+	}
+	return best
+}
+
+// WriteTable prints the CDF curves and means.
+func (r *Fig8Result) WriteTable(w io.Writer) {
+	writeHeader(w, "Fig. 8 — effect of negotiation slots M (CDFs of OCR and ATP)")
+	fmt.Fprintf(w, "%-5s  %-9s %-9s\n", "M", "mean OCR", "mean ATP")
+	for _, c := range r.Curves {
+		fmt.Fprintf(w, "M=%-3d  %-9.3f %-9.3f\n", c.M, c.MeanOCR, c.MeanATP)
+	}
+	writeCDFs(w, "OCR CDF", r.Opts.CurvePoints, func(i int) (string, metrics.CDF) {
+		return fmt.Sprintf("M=%d", r.Curves[i].M), r.Curves[i].OCRCDF
+	}, len(r.Curves))
+	writeCDFs(w, "ATP CDF", r.Opts.CurvePoints, func(i int) (string, metrics.CDF) {
+		return fmt.Sprintf("M=%d", r.Curves[i].M), r.Curves[i].ATPCDF
+	}, len(r.Curves))
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mmv2v/internal/baseline"
+	"mmv2v/internal/core"
+	"mmv2v/internal/metrics"
+	"mmv2v/internal/sim"
+)
+
+// TrucksOptions parameterize the heavy-vehicle extension study (beyond the
+// paper): how does mmV2V's completion ratio degrade as a share of the
+// vehicles become trucks — 16 m × 2.5 m bodies that block far more mmWave
+// line-of-sight paths than cars?
+type TrucksOptions struct {
+	Seed       uint64
+	Trials     int
+	DensityVPL float64
+	// Fractions is the sweep of truck shares.
+	Fractions []float64
+	// IncludeBaselines also measures ROP and 802.11ad under each mix.
+	IncludeBaselines bool
+}
+
+// DefaultTrucksOptions returns the standard sweep.
+func DefaultTrucksOptions() TrucksOptions {
+	return TrucksOptions{
+		Seed:       1,
+		Trials:     3,
+		DensityVPL: 20,
+		Fractions:  []float64{0, 0.1, 0.2, 0.3},
+	}
+}
+
+// TrucksRow is one truck-share measurement.
+type TrucksRow struct {
+	Fraction     float64
+	AvgNeighbors float64
+	Cells        []Fig9Cell
+}
+
+// TrucksResult is the full study.
+type TrucksResult struct {
+	Opts      TrucksOptions
+	Protocols []string
+	Rows      []TrucksRow
+}
+
+// Trucks runs the study.
+func Trucks(opts TrucksOptions) (*TrucksResult, error) {
+	if opts.Trials <= 0 || len(opts.Fractions) == 0 {
+		return nil, fmt.Errorf("experiments: invalid trucks options %+v", opts)
+	}
+	factories := []sim.Factory{core.Factory(core.DefaultParams())}
+	if opts.IncludeBaselines {
+		factories = append(factories,
+			baseline.ROPFactory(baseline.DefaultROPParams()),
+			baseline.ADFactory(baseline.DefaultADParams()))
+	}
+	res := &TrucksResult{Opts: opts}
+	for _, frac := range opts.Fractions {
+		row := TrucksRow{Fraction: frac}
+		for _, f := range factories {
+			cfg := scenario(opts.DensityVPL, opts.Seed)
+			cfg.Traffic.TruckFraction = frac
+			pooled, err := sim.RunTrials(cfg, f, opts.Trials)
+			if err != nil {
+				return nil, err
+			}
+			row.AvgNeighbors = pooled.AvgNeighbors
+			row.Cells = append(row.Cells, Fig9Cell{Protocol: pooled.Protocol, Summary: pooled.Summary})
+			if len(res.Rows) == 0 {
+				res.Protocols = append(res.Protocols, pooled.Protocol)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Get returns the summary of a protocol at a truck fraction.
+func (r *TrucksResult) Get(fraction float64, protocol string) (metrics.Summary, bool) {
+	for _, row := range r.Rows {
+		if row.Fraction != fraction {
+			continue
+		}
+		for _, c := range row.Cells {
+			if c.Protocol == protocol {
+				return c.Summary, true
+			}
+		}
+	}
+	return metrics.Summary{}, false
+}
+
+// WriteTable prints the study.
+func (r *TrucksResult) WriteTable(w io.Writer) {
+	writeHeader(w, "Extension — OHM under heavy-vehicle (truck) blockage")
+	fmt.Fprintf(w, "%-10s %-8s", "trucks", "avg |N|")
+	for _, p := range r.Protocols {
+		fmt.Fprintf(w, "  %-9s", p+" OCR")
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10.0f%% %-8.1f", row.Fraction*100, row.AvgNeighbors)
+		for _, c := range row.Cells {
+			fmt.Fprintf(w, "  %-9.3f", c.Summary.MeanOCR)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV emits fraction, avg_neighbors, protocol, ocr, atp, dtp rows.
+func (r *TrucksResult) WriteCSV(w io.Writer) error {
+	res := &Fig9Result{Protocols: r.Protocols}
+	for _, row := range r.Rows {
+		res.Rows = append(res.Rows, Fig9Row{
+			DensityVPL:   row.Fraction, // fraction in the density column
+			AvgNeighbors: row.AvgNeighbors,
+			Cells:        row.Cells,
+		})
+	}
+	return res.WriteCSV(w)
+}

@@ -1,0 +1,60 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzNormalizeBearing(f *testing.F) {
+	f.Add(0.0)
+	f.Add(math.Pi)
+	f.Add(-7.5)
+	f.Add(123456.789)
+	f.Fuzz(func(t *testing.T, b float64) {
+		if math.IsNaN(b) || math.IsInf(b, 0) || math.Abs(b) > 1e12 {
+			t.Skip()
+		}
+		got := float64(NormalizeBearing(Bearing(b)))
+		if got < 0 || got >= 2*math.Pi {
+			t.Fatalf("NormalizeBearing(%v) = %v outside [0, 2π)", b, got)
+		}
+	})
+}
+
+func FuzzSectorsFromBearing(f *testing.F) {
+	f.Add(24, 1.0)
+	f.Add(8, -0.5)
+	f.Fuzz(func(t *testing.T, count int, b float64) {
+		if count <= 0 || count > 720 || count%2 != 0 {
+			t.Skip()
+		}
+		if math.IsNaN(b) || math.IsInf(b, 0) || math.Abs(b) > 1e9 {
+			t.Skip()
+		}
+		s := Sectors{Count: count}
+		idx := s.FromBearing(Bearing(b))
+		if idx < 0 || idx >= count {
+			t.Fatalf("FromBearing out of range: %d of %d", idx, count)
+		}
+		// The chosen sector's center is within half a pitch of the bearing.
+		if d := AbsAngleDiff(s.Center(idx), NormalizeBearing(Bearing(b))); d > s.Pitch()/2+1e-9 {
+			t.Fatalf("sector %d center off by %v > pitch/2", idx, d)
+		}
+	})
+}
+
+func FuzzSegmentIntersectsRectSymmetry(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 10.0)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by float64) {
+		for _, v := range []float64{ax, ay, bx, by} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				t.Skip()
+			}
+		}
+		r := Rect{Center: Vec{5, 5}, Heading: Bearing(0.7), HalfLen: 2.3, HalfWid: 0.9}
+		a, b := Vec{ax, ay}, Vec{bx, by}
+		if SegmentIntersectsRect(a, b, r) != SegmentIntersectsRect(b, a, r) {
+			t.Fatal("intersection not symmetric in endpoints")
+		}
+	})
+}

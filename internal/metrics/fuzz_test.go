@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzLedgerProgressInvariants(f *testing.F) {
+	f.Add(uint8(1), uint8(2), 100.0, 50.0)
+	f.Fuzz(func(t *testing.T, i, j uint8, bits, demand float64) {
+		if i == j || math.IsNaN(bits) || math.IsInf(bits, 0) || bits < 0 || bits > 1e18 {
+			t.Skip()
+		}
+		if math.IsNaN(demand) || math.IsInf(demand, 0) || demand > 1e18 {
+			t.Skip()
+		}
+		l := NewLedger(256)
+		l.Add(int(i), int(j), bits)
+		p := l.Progress(int(i), int(j), demand)
+		if p < 0 || p > 1 {
+			t.Fatalf("progress %v outside [0,1]", p)
+		}
+		if l.Exchanged(int(i), int(j)) != l.Exchanged(int(j), int(i)) {
+			t.Fatal("ledger not symmetric")
+		}
+		if demand > 0 && l.Complete(int(i), int(j), demand) != (bits >= demand) {
+			t.Fatalf("Complete inconsistent: bits=%v demand=%v", bits, demand)
+		}
+	})
+}
+
+func FuzzCDFBounds(f *testing.F) {
+	f.Add(0.5, 0.25, 0.75, 0.1)
+	f.Fuzz(func(t *testing.T, a, b, c, x float64) {
+		for _, v := range []float64{a, b, c, x} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		cdf := NewCDF([]float64{a, b, c})
+		p := cdf.P(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("P = %v", p)
+		}
+		q := cdf.Quantile(0.5)
+		if q != a && q != b && q != c {
+			t.Fatalf("median %v not a sample value", q)
+		}
+	})
+}

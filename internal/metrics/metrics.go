@@ -1,0 +1,277 @@
+// Package metrics implements the paper's three evaluation metrics
+// (Sec. IV-A) — OHM Completion Ratio (OCR), Average of Transmission
+// Progress (ATP) and Deviation of Transmission Progress (DTP) — over a
+// per-pair data-exchange ledger, plus empirical CDFs for the Fig. 7/8
+// presentations and simple aggregation helpers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Ledger accumulates the amount of data exchanged between unordered vehicle
+// pairs (the paper's D_{i,j}), in bits.
+type Ledger struct {
+	n    int
+	bits map[int64]float64
+}
+
+// NewLedger creates a ledger for n vehicles.
+func NewLedger(n int) *Ledger {
+	return &Ledger{n: n, bits: make(map[int64]float64)}
+}
+
+func (l *Ledger) key(i, j int) int64 {
+	if i > j {
+		i, j = j, i
+	}
+	return int64(i)*int64(l.n) + int64(j)
+}
+
+// Add records bits exchanged between i and j (either direction; D_{i,j} is
+// the pair total). Negative amounts panic.
+func (l *Ledger) Add(i, j int, bits float64) {
+	if bits < 0 {
+		panic(fmt.Sprintf("metrics: negative exchange %v", bits))
+	}
+	if i == j {
+		panic(fmt.Sprintf("metrics: self-exchange for vehicle %d", i))
+	}
+	l.bits[l.key(i, j)] += bits
+}
+
+// Exchanged returns D_{i,j} in bits.
+func (l *Ledger) Exchanged(i, j int) float64 { return l.bits[l.key(i, j)] }
+
+// Progress returns η_{i,j} = min(D_{i,j}/D, 1) for demand D bits.
+func (l *Ledger) Progress(i, j int, demandBits float64) float64 {
+	if demandBits <= 0 {
+		return 1
+	}
+	p := l.Exchanged(i, j) / demandBits
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Complete reports whether the pair has exchanged at least the demand.
+func (l *Ledger) Complete(i, j int, demandBits float64) bool {
+	return l.Exchanged(i, j) >= demandBits
+}
+
+// Pairs returns the number of pairs with any recorded exchange.
+func (l *Ledger) Pairs() int { return len(l.bits) }
+
+// TotalBits returns the sum of all pair exchanges.
+func (l *Ledger) TotalBits() float64 {
+	total := 0.0
+	for _, b := range l.bits {
+		total += b
+	}
+	return total
+}
+
+// Reset clears the ledger.
+func (l *Ledger) Reset() { l.bits = make(map[int64]float64) }
+
+// VehicleStats holds the paper's per-vehicle metrics for one measurement
+// window.
+type VehicleStats struct {
+	Vehicle   int
+	Neighbors int
+	// OCR = |N_i^C| / |N_i|: fraction of neighbors with completed exchange.
+	OCR float64
+	// ATP = mean over neighbors of η_{i,j}.
+	ATP float64
+	// DTP = population standard deviation of η_{i,j} over neighbors.
+	DTP float64
+}
+
+// Compute evaluates OCR/ATP/DTP for every vehicle against its neighbor set
+// (the metric denominator N_i — the paper's true LOS neighbor set) and a
+// per-neighbor demand in bits. Vehicles with no neighbors are omitted: the
+// metrics are undefined for them.
+func Compute(neighbors [][]int, l *Ledger, demandBits float64) []VehicleStats {
+	out := make([]VehicleStats, 0, len(neighbors))
+	for i, ns := range neighbors {
+		if len(ns) == 0 {
+			continue
+		}
+		completed := 0
+		sum := 0.0
+		etas := make([]float64, len(ns))
+		for k, j := range ns {
+			eta := l.Progress(i, j, demandBits)
+			etas[k] = eta
+			sum += eta
+			if l.Complete(i, j, demandBits) {
+				completed++
+			}
+		}
+		mean := sum / float64(len(ns))
+		varsum := 0.0
+		for _, eta := range etas {
+			d := eta - mean
+			varsum += d * d
+		}
+		out = append(out, VehicleStats{
+			Vehicle:   i,
+			Neighbors: len(ns),
+			OCR:       float64(completed) / float64(len(ns)),
+			ATP:       mean,
+			DTP:       math.Sqrt(varsum / float64(len(ns))),
+		})
+	}
+	return out
+}
+
+// Summary aggregates per-vehicle stats across a window (and across trials
+// when stats from several runs are concatenated).
+type Summary struct {
+	Vehicles int
+	MeanOCR  float64
+	MeanATP  float64
+	MeanDTP  float64
+}
+
+// Summarize averages per-vehicle stats. An empty slice yields a zero
+// Summary.
+func Summarize(stats []VehicleStats) Summary {
+	if len(stats) == 0 {
+		return Summary{}
+	}
+	var s Summary
+	s.Vehicles = len(stats)
+	for _, st := range stats {
+		s.MeanOCR += st.OCR
+		s.MeanATP += st.ATP
+		s.MeanDTP += st.DTP
+	}
+	n := float64(len(stats))
+	s.MeanOCR /= n
+	s.MeanATP /= n
+	s.MeanDTP /= n
+	return s
+}
+
+// CDF is an empirical cumulative distribution over a sample.
+type CDF struct {
+	xs []float64
+}
+
+// NewCDF builds a CDF from a sample (copied and sorted).
+func NewCDF(values []float64) CDF {
+	xs := append([]float64(nil), values...)
+	sort.Float64s(xs)
+	return CDF{xs: xs}
+}
+
+// Len returns the sample size.
+func (c CDF) Len() int { return len(c.xs) }
+
+// P returns the empirical probability of a value ≤ x.
+func (c CDF) P(x float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	// Index of first element > x.
+	idx := sort.SearchFloat64s(c.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.xs))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of the sample.
+func (c CDF) Quantile(q float64) float64 {
+	if len(c.xs) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.xs[0]
+	}
+	if q >= 1 {
+		return c.xs[len(c.xs)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(c.xs)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return c.xs[idx]
+}
+
+// Point is one (x, P(X≤x)) sample of a CDF curve.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Curve samples the CDF at k evenly spaced x positions spanning the sample
+// range, suitable for plotting the paper's Fig. 7/8 style curves.
+func (c CDF) Curve(k int) []Point {
+	if len(c.xs) == 0 || k <= 0 {
+		return nil
+	}
+	lo, hi := c.xs[0], c.xs[len(c.xs)-1]
+	out := make([]Point, 0, k)
+	if k == 1 || hi == lo {
+		return append(out, Point{X: lo, Y: c.P(lo)})
+	}
+	for i := 0; i < k; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(k-1)
+		out = append(out, Point{X: x, Y: c.P(x)})
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of a slice (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation (NaN for empty input).
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// SampleStdDev returns the Bessel-corrected (n−1) standard deviation.
+// It is NaN for fewer than two samples.
+func SampleStdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// MeanCI95 returns the sample mean and the half-width of its normal-
+// approximation 95 % confidence interval (1.96·s/√n). The half-width is 0
+// for fewer than two samples.
+func MeanCI95(xs []float64) (mean, halfWidth float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	return mean, 1.96 * SampleStdDev(xs) / math.Sqrt(float64(len(xs)))
+}

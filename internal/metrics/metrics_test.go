@@ -1,0 +1,264 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLedgerAddAndExchanged(t *testing.T) {
+	l := NewLedger(10)
+	l.Add(1, 2, 100)
+	l.Add(2, 1, 50) // order-insensitive
+	if got := l.Exchanged(1, 2); got != 150 {
+		t.Errorf("Exchanged = %v", got)
+	}
+	if got := l.Exchanged(2, 1); got != 150 {
+		t.Errorf("Exchanged reversed = %v", got)
+	}
+	if got := l.Exchanged(3, 4); got != 0 {
+		t.Errorf("untouched pair = %v", got)
+	}
+	if l.Pairs() != 1 {
+		t.Errorf("Pairs = %d", l.Pairs())
+	}
+	if l.TotalBits() != 150 {
+		t.Errorf("TotalBits = %v", l.TotalBits())
+	}
+}
+
+func TestLedgerNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative add should panic")
+		}
+	}()
+	NewLedger(5).Add(0, 1, -1)
+}
+
+func TestLedgerSelfExchangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("self exchange should panic")
+		}
+	}()
+	NewLedger(5).Add(3, 3, 10)
+}
+
+func TestProgressCappedAtOne(t *testing.T) {
+	l := NewLedger(5)
+	l.Add(0, 1, 500)
+	if got := l.Progress(0, 1, 200); got != 1 {
+		t.Errorf("Progress = %v, want capped 1", got)
+	}
+	if got := l.Progress(0, 1, 1000); got != 0.5 {
+		t.Errorf("Progress = %v", got)
+	}
+	if !l.Complete(0, 1, 500) || l.Complete(0, 1, 501) {
+		t.Error("Complete thresholds wrong")
+	}
+}
+
+func TestLedgerReset(t *testing.T) {
+	l := NewLedger(5)
+	l.Add(0, 1, 10)
+	l.Reset()
+	if l.Pairs() != 0 || l.Exchanged(0, 1) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestComputePaperDefinitions(t *testing.T) {
+	// Vehicle 0 has neighbors 1,2,3; demand 100 bits each.
+	// Exchanged: 100 (done), 50, 0 → OCR=1/3, ATP=(1+0.5+0)/3=0.5,
+	// DTP = sqrt(((0.5)²+0²+(0.5)²)/3) = sqrt(1/6).
+	l := NewLedger(4)
+	l.Add(0, 1, 100)
+	l.Add(0, 2, 50)
+	neighbors := [][]int{{1, 2, 3}, {0}, {0}, {0}}
+	stats := Compute(neighbors, l, 100)
+	if len(stats) != 4 {
+		t.Fatalf("stats len = %d", len(stats))
+	}
+	s := stats[0]
+	if s.Neighbors != 3 {
+		t.Errorf("Neighbors = %d", s.Neighbors)
+	}
+	if math.Abs(s.OCR-1.0/3) > 1e-12 {
+		t.Errorf("OCR = %v", s.OCR)
+	}
+	if math.Abs(s.ATP-0.5) > 1e-12 {
+		t.Errorf("ATP = %v", s.ATP)
+	}
+	if want := math.Sqrt(1.0 / 6); math.Abs(s.DTP-want) > 1e-12 {
+		t.Errorf("DTP = %v, want %v", s.DTP, want)
+	}
+}
+
+func TestComputeSkipsIsolatedVehicles(t *testing.T) {
+	l := NewLedger(3)
+	neighbors := [][]int{{1}, {0}, {}}
+	stats := Compute(neighbors, l, 100)
+	if len(stats) != 2 {
+		t.Fatalf("stats len = %d, isolated vehicle must be omitted", len(stats))
+	}
+	for _, s := range stats {
+		if s.Vehicle == 2 {
+			t.Error("isolated vehicle present")
+		}
+	}
+}
+
+func TestComputeZeroProgress(t *testing.T) {
+	l := NewLedger(3)
+	stats := Compute([][]int{{1, 2}}, l, 100)
+	s := stats[0]
+	if s.OCR != 0 || s.ATP != 0 || s.DTP != 0 {
+		t.Errorf("zero-progress stats = %+v", s)
+	}
+}
+
+func TestComputeAllComplete(t *testing.T) {
+	l := NewLedger(3)
+	l.Add(0, 1, 100)
+	l.Add(0, 2, 100)
+	s := Compute([][]int{{1, 2}}, l, 100)[0]
+	if s.OCR != 1 || s.ATP != 1 || s.DTP != 0 {
+		t.Errorf("complete stats = %+v", s)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	stats := []VehicleStats{
+		{OCR: 1, ATP: 1, DTP: 0},
+		{OCR: 0, ATP: 0.5, DTP: 0.2},
+	}
+	s := Summarize(stats)
+	if s.Vehicles != 2 || s.MeanOCR != 0.5 || s.MeanATP != 0.75 || math.Abs(s.MeanDTP-0.1) > 1e-12 {
+		t.Errorf("summary = %+v", s)
+	}
+	if got := Summarize(nil); got != (Summary{}) {
+		t.Errorf("empty summary = %+v", got)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 4})
+	if c.Len() != 4 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	tests := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {9, 1},
+	}
+	for _, tt := range tests {
+		if got := c.P(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("P(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	if got := c.Quantile(0); got != 10 {
+		t.Errorf("Q(0) = %v", got)
+	}
+	if got := c.Quantile(0.5); got != 20 {
+		t.Errorf("Q(0.5) = %v", got)
+	}
+	if got := c.Quantile(1); got != 40 {
+		t.Errorf("Q(1) = %v", got)
+	}
+	if !math.IsNaN(NewCDF(nil).Quantile(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestCDFCurve(t *testing.T) {
+	c := NewCDF([]float64{0, 0.5, 1})
+	pts := c.Curve(5)
+	if len(pts) != 5 {
+		t.Fatalf("curve len = %d", len(pts))
+	}
+	if pts[0].X != 0 || pts[4].X != 1 {
+		t.Errorf("curve endpoints = %v, %v", pts[0], pts[4])
+	}
+	// Monotone non-decreasing Y.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Errorf("CDF curve not monotone at %d", i)
+		}
+	}
+	if pts[4].Y != 1 {
+		t.Errorf("final Y = %v", pts[4].Y)
+	}
+	if got := NewCDF(nil).Curve(5); got != nil {
+		t.Error("empty CDF curve should be nil")
+	}
+	// Degenerate single-value sample.
+	one := NewCDF([]float64{2}).Curve(5)
+	if len(one) != 1 || one[0].Y != 1 {
+		t.Errorf("degenerate curve = %v", one)
+	}
+}
+
+func TestCDFPMonotoneProperty(t *testing.T) {
+	f := func(vals []float64, a, b float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for i := range vals {
+			vals[i] = math.Mod(vals[i], 100)
+		}
+		a, b = math.Mod(a, 100), math.Mod(b, 100)
+		if a > b {
+			a, b = b, a
+		}
+		c := NewCDF(vals)
+		return c.P(a) <= c.P(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if got := StdDev([]float64{1, 3}); got != 1 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev(nil)) {
+		t.Error("empty Mean/StdDev should be NaN")
+	}
+}
+
+func TestSampleStdDev(t *testing.T) {
+	if got := SampleStdDev([]float64{1, 3}); math.Abs(got-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("SampleStdDev = %v", got)
+	}
+	if !math.IsNaN(SampleStdDev([]float64{1})) {
+		t.Error("single sample should be NaN")
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	mean, hw := MeanCI95([]float64{2, 2, 2, 2})
+	if mean != 2 || hw != 0 {
+		t.Errorf("constant sample CI = %v ± %v", mean, hw)
+	}
+	mean, hw = MeanCI95([]float64{0, 1, 0, 1})
+	if math.Abs(mean-0.5) > 1e-12 {
+		t.Errorf("mean = %v", mean)
+	}
+	want := 1.96 * SampleStdDev([]float64{0, 1, 0, 1}) / 2
+	if math.Abs(hw-want) > 1e-12 {
+		t.Errorf("half-width = %v, want %v", hw, want)
+	}
+	if _, hw := MeanCI95([]float64{7}); hw != 0 {
+		t.Errorf("single-sample half-width = %v", hw)
+	}
+}

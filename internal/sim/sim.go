@@ -1,0 +1,304 @@
+// Package sim runs OHM protocols over the simulated road + channel: it owns
+// the scenario lifecycle (traffic warm-up, the 5 ms position/link refresh,
+// the 20 ms protocol frame loop, 1 s measurement windows) and the HRIE task
+// bookkeeping, and reduces runs to the paper's per-vehicle metrics.
+//
+// Protocols (mmV2V in internal/core, the ROP and IEEE 802.11ad baselines in
+// internal/baseline) plug in through the Protocol interface and the shared
+// Env, so all candidates are evaluated under identical traffic, channel and
+// task conditions — the comparison discipline of Sec. IV.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"mmv2v/internal/des"
+	"mmv2v/internal/medium"
+	"mmv2v/internal/metrics"
+	"mmv2v/internal/phy"
+	"mmv2v/internal/trace"
+	"mmv2v/internal/traffic"
+	"mmv2v/internal/world"
+	"mmv2v/internal/xrand"
+)
+
+// Config describes one simulation scenario.
+type Config struct {
+	// Seed drives every random stream in the scenario.
+	Seed uint64
+	// Traffic is the road scenario (density, lanes, models).
+	Traffic traffic.Config
+	// World holds comm range and channel parameters.
+	World world.Config
+	// Timing holds the PHY control-plane constants.
+	Timing phy.Timing
+	// DemandBits is the HRIE task volume per neighbor per window
+	// (paper: 200 Mb/s × 1 s window).
+	DemandBits float64
+	// WindowSec is the measurement window length (paper: metrics at the end
+	// of every second).
+	WindowSec float64
+	// Windows is how many consecutive windows to run.
+	Windows int
+	// WarmupSec steps traffic before the radio protocol starts so the flow
+	// reaches a steady state.
+	WarmupSec float64
+	// Trace, when non-nil, receives structured protocol events
+	// (discoveries, matches, streams, completions). Nil disables tracing
+	// at zero cost.
+	Trace *trace.Recorder
+}
+
+// DefaultConfig returns the paper's scenario at a given traffic density
+// (vehicles per lane per km) with the 200 Mb/s HRIE task.
+func DefaultConfig(densityVPL float64, seed uint64) Config {
+	return Config{
+		Seed:       seed,
+		Traffic:    traffic.DefaultConfig(densityVPL),
+		World:      world.DefaultConfig(),
+		Timing:     phy.DefaultTiming(),
+		DemandBits: 200e6,
+		WindowSec:  1.0,
+		Windows:    1,
+		WarmupSec:  10,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Traffic.Validate(); err != nil {
+		return err
+	}
+	if err := c.World.Validate(); err != nil {
+		return err
+	}
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.DemandBits < 0:
+		return fmt.Errorf("sim: negative demand %v", c.DemandBits)
+	case c.WindowSec <= 0:
+		return fmt.Errorf("sim: non-positive window %v", c.WindowSec)
+	case c.Windows <= 0:
+		return fmt.Errorf("sim: non-positive window count %d", c.Windows)
+	case c.WarmupSec < 0:
+		return fmt.Errorf("sim: negative warmup %v", c.WarmupSec)
+	}
+	return nil
+}
+
+// Env is the shared simulation environment handed to protocols.
+type Env struct {
+	Sim    *des.Simulator
+	World  *world.World
+	Medium *medium.Medium
+	Ledger *metrics.Ledger
+	Rand   *xrand.Source
+	Timing phy.Timing
+	// DemandBits is the per-neighbor task volume of the current window.
+	DemandBits float64
+	// Trace receives protocol events; nil (the default) is a valid no-op.
+	Trace *trace.Recorder
+
+	refreshHooks []func()
+}
+
+// N returns the number of vehicles.
+func (e *Env) N() int { return e.World.NumVehicles() }
+
+// PairDone reports whether pair (i, j) has completed its exchange in the
+// current window — the paper's "all sensory data have been exchanged"
+// condition that removes a neighbor from the working set.
+func (e *Env) PairDone(i, j int) bool {
+	return e.Ledger.Complete(i, j, e.DemandBits)
+}
+
+// OnRefresh registers a hook invoked after every 5 ms position/link refresh
+// (protocols use it for UDT rate adaptation).
+func (e *Env) OnRefresh(fn func()) {
+	e.refreshHooks = append(e.refreshHooks, fn)
+}
+
+// FireRefreshHooks invokes all registered refresh hooks; the runner calls it
+// on every tick, and tests that drive frames manually do the same.
+func (e *Env) FireRefreshHooks() {
+	for _, h := range e.refreshHooks {
+		h()
+	}
+}
+
+// Protocol is one OHM scheme under evaluation.
+type Protocol interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// RunFrame is invoked at each frame boundary; the implementation
+	// schedules all of the frame's events on env.Sim and must finish its
+	// activity before the next frame boundary.
+	RunFrame(frame int)
+}
+
+// Factory constructs a protocol bound to an environment.
+type Factory func(*Env) Protocol
+
+// WindowResult carries the metrics of one measurement window.
+type WindowResult struct {
+	Window  int
+	Stats   []metrics.VehicleStats
+	Summary metrics.Summary
+	// AvgNeighbors is the mean LOS neighbor count at window start.
+	AvgNeighbors float64
+}
+
+// Result aggregates a full run.
+type Result struct {
+	Protocol string
+	Windows  []WindowResult
+	// Stats pools per-vehicle stats across all windows.
+	Stats []metrics.VehicleStats
+	// Summary aggregates the pooled stats.
+	Summary metrics.Summary
+	// AvgNeighbors is the mean over windows.
+	AvgNeighbors float64
+	// Events is the number of DES events executed (diagnostics).
+	Events uint64
+}
+
+// NewEnv builds the simulation environment of a scenario — warmed-up
+// traffic, world, medium, ledger — without running any protocol. Run uses
+// it; experiment harnesses that need custom instrumentation use it directly
+// with DriveFrames.
+func NewEnv(cfg Config) (*Env, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rand := xrand.New(cfg.Seed)
+	road, err := traffic.New(cfg.Traffic, rand)
+	if err != nil {
+		return nil, err
+	}
+	dt := cfg.Timing.PositionUpdate.Seconds()
+	for t := 0.0; t < cfg.WarmupSec; t += dt {
+		road.Step(dt)
+	}
+	w, err := world.New(cfg.World, road)
+	if err != nil {
+		return nil, err
+	}
+	return NewEnvWithWorld(cfg, w)
+}
+
+// NewEnvWithWorld builds an environment over a caller-constructed world
+// (e.g. hand-placed vehicles). The scenario's traffic settings are not
+// re-applied; only timing, demand and seed matter.
+func NewEnvWithWorld(cfg Config, w *world.World) (*Env, error) {
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	sim := des.New()
+	return &Env{
+		Sim:        sim,
+		World:      w,
+		Medium:     medium.New(sim, w),
+		Ledger:     metrics.NewLedger(w.NumVehicles()),
+		Rand:       xrand.New(cfg.Seed).Child("protocol"),
+		Timing:     cfg.Timing,
+		DemandBits: cfg.DemandBits,
+		Trace:      cfg.Trace,
+	}, nil
+}
+
+// DriveFrames advances the environment by the given number of protocol
+// frames: the 5 ms tick steps traffic, refreshes the world, fires refresh
+// hooks and starts a frame on each frame boundary. firstFrame offsets the
+// frame indices passed to the protocol.
+func (e *Env) DriveFrames(proto Protocol, firstFrame, frames int) {
+	ticksPerFrame := int(e.Timing.Frame / e.Timing.PositionUpdate)
+	dt := e.Timing.PositionUpdate.Seconds()
+	start := e.Sim.Now()
+	end := start.Add(e.Timing.Frame * time.Duration(frames))
+	e.Sim.Every(start, e.Timing.PositionUpdate, end, "sim.tick", func(tick int) {
+		if tick > 0 {
+			e.World.Road().Step(dt)
+			e.World.Refresh()
+		}
+		e.FireRefreshHooks()
+		if tick%ticksPerFrame == 0 && tick/ticksPerFrame < frames {
+			proto.RunFrame(firstFrame + tick/ticksPerFrame)
+		}
+	})
+	e.Sim.Run(end)
+}
+
+// Run executes a scenario under the given protocol factory.
+func Run(cfg Config, factory Factory) (*Result, error) {
+	env, err := NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunOnEnv(cfg, env, factory)
+}
+
+// RunOnEnv executes the window loop over an existing environment (used by
+// Run and by custom-scenario entry points).
+func RunOnEnv(cfg Config, env *Env, factory Factory) (*Result, error) {
+	if cfg.Windows <= 0 || cfg.WindowSec <= 0 {
+		return nil, fmt.Errorf("sim: invalid window settings (%d × %v s)", cfg.Windows, cfg.WindowSec)
+	}
+	proto := factory(env)
+
+	res := &Result{Protocol: proto.Name()}
+	framesPerWindow := int(cfg.WindowSec / cfg.Timing.Frame.Seconds())
+	if framesPerWindow < 1 {
+		return nil, fmt.Errorf("sim: window %vs cannot hold a %v frame", cfg.WindowSec, cfg.Timing.Frame)
+	}
+
+	for win := 0; win < cfg.Windows; win++ {
+		env.Ledger.Reset()
+		env.Medium.Reset()
+		denominator := env.World.NeighborSnapshot()
+		avgN := env.World.AvgNeighborCount()
+
+		env.DriveFrames(proto, win*framesPerWindow, framesPerWindow)
+
+		stats := metrics.Compute(denominator, env.Ledger, cfg.DemandBits)
+		res.Windows = append(res.Windows, WindowResult{
+			Window:       win,
+			Stats:        stats,
+			Summary:      metrics.Summarize(stats),
+			AvgNeighbors: avgN,
+		})
+		res.Stats = append(res.Stats, stats...)
+		res.AvgNeighbors += avgN
+	}
+	res.Summary = metrics.Summarize(res.Stats)
+	res.AvgNeighbors /= float64(cfg.Windows)
+	res.Events = env.Sim.Executed()
+	return res, nil
+}
+
+// RunTrials runs the same scenario with distinct seeds and pools the
+// per-vehicle stats, mirroring the paper's repeated-experiment methodology.
+func RunTrials(cfg Config, factory Factory, trials int) (*Result, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: non-positive trial count %d", trials)
+	}
+	pooled := &Result{}
+	for tr := 0; tr < trials; tr++ {
+		c := cfg
+		c.Seed = xrand.Mix(cfg.Seed, uint64(tr))
+		r, err := Run(c, factory)
+		if err != nil {
+			return nil, err
+		}
+		pooled.Protocol = r.Protocol
+		pooled.Windows = append(pooled.Windows, r.Windows...)
+		pooled.Stats = append(pooled.Stats, r.Stats...)
+		pooled.AvgNeighbors += r.AvgNeighbors
+		pooled.Events += r.Events
+	}
+	pooled.Summary = metrics.Summarize(pooled.Stats)
+	pooled.AvgNeighbors /= float64(trials)
+	return pooled, nil
+}

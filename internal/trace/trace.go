@@ -1,0 +1,206 @@
+// Package trace records structured protocol events — discoveries, matches,
+// break-ups, stream starts and rate changes — so simulation runs can be
+// debugged and analyzed offline. Protocols emit events through a Recorder;
+// sinks keep them in memory (ring buffer, for tests and summaries) or write
+// them as JSON Lines (for external tooling).
+//
+// Tracing is optional and zero-cost when disabled: a nil *Recorder is a
+// valid no-op receiver for every Emit call.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"mmv2v/internal/des"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds. Start at 1 so the zero value is invalid.
+const (
+	KindDiscovery Kind = iota + 1
+	KindNegotiation
+	KindMatch
+	KindBreakup
+	KindStreamStart
+	KindStreamStop
+	KindRate
+	KindCompletion
+	KindAssociation
+)
+
+var kindNames = map[Kind]string{
+	KindDiscovery:   "discovery",
+	KindNegotiation: "negotiation",
+	KindMatch:       "match",
+	KindBreakup:     "breakup",
+	KindStreamStart: "stream_start",
+	KindStreamStop:  "stream_stop",
+	KindRate:        "rate",
+	KindCompletion:  "completion",
+	KindAssociation: "association",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// Event is one protocol occurrence.
+type Event struct {
+	// At is the simulation timestamp.
+	At des.Time `json:"at_ns"`
+	// Frame is the protocol frame index.
+	Frame int `json:"frame"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// A and B are the vehicles involved (B may be -1 for solo events).
+	A int `json:"a"`
+	B int `json:"b"`
+	// Value carries a kind-specific quantity (SNR dB for discoveries,
+	// bits/s for rates, bits for completions).
+	Value float64 `json:"value,omitempty"`
+}
+
+// Sink consumes events.
+type Sink interface {
+	Record(Event)
+}
+
+// Recorder fans events out to sinks. The zero value and the nil pointer
+// are both valid no-op recorders.
+type Recorder struct {
+	mu    sync.Mutex
+	sinks []Sink
+}
+
+// New builds a recorder over the given sinks.
+func New(sinks ...Sink) *Recorder { return &Recorder{sinks: sinks} }
+
+// Attach adds a sink.
+func (r *Recorder) Attach(s Sink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sinks = append(r.sinks, s)
+}
+
+// Emit records an event; nil recorders drop it.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	sinks := r.sinks
+	r.mu.Unlock()
+	for _, s := range sinks {
+		s.Record(e)
+	}
+}
+
+// Ring is a fixed-capacity in-memory sink keeping the most recent events.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	count int
+}
+
+// NewRing builds a ring buffer sink; capacity must be positive.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("trace: non-positive ring capacity %d", capacity))
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record implements Sink.
+func (r *Ring) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Events returns the retained events oldest-first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// CountByKind tallies retained events per kind.
+func (r *Ring) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// JSONL streams events as JSON Lines to a writer. Errors are sticky: the
+// first write error stops output and is reported by Err.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL builds a JSON Lines sink.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{enc: json.NewEncoder(w)} }
+
+// Record implements Sink.
+func (j *JSONL) Record(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(e)
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Filter wraps a sink, keeping only events whose kind is in the set.
+type Filter struct {
+	Next  Sink
+	Kinds map[Kind]bool
+}
+
+// Record implements Sink.
+func (f Filter) Record(e Event) {
+	if f.Kinds[e.Kind] {
+		f.Next.Record(e)
+	}
+}

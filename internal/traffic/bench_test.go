@@ -1,0 +1,22 @@
+package traffic
+
+import (
+	"testing"
+
+	"mmv2v/internal/xrand"
+)
+
+func benchStep(b *testing.B, density float64) {
+	b.Helper()
+	r, err := New(DefaultConfig(density), xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step(0.005)
+	}
+}
+
+func BenchmarkStep15vpl(b *testing.B) { benchStep(b, 15) }
+func BenchmarkStep30vpl(b *testing.B) { benchStep(b, 30) }

@@ -1,0 +1,69 @@
+package world
+
+import (
+	"testing"
+
+	"mmv2v/internal/geom"
+	"mmv2v/internal/phy"
+	"mmv2v/internal/traffic"
+	"mmv2v/internal/xrand"
+)
+
+// beamOf builds a 3° beam at a bearing.
+func beamOf(bearing geom.Bearing) phy.Beam {
+	return phy.Beam{Bearing: bearing, Width: geom.Deg(3)}
+}
+
+func benchRefresh(b *testing.B, density float64) {
+	b.Helper()
+	road, err := traffic.New(traffic.DefaultConfig(density), xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := New(DefaultConfig(), road)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		road.Step(0.005)
+		w.Refresh()
+	}
+}
+
+// BenchmarkRefresh measures the 5 ms snapshot rebuild — the simulator's
+// per-tick fixed cost (pair table + blocker counting).
+func BenchmarkRefresh15vpl(b *testing.B) { benchRefresh(b, 15) }
+func BenchmarkRefresh30vpl(b *testing.B) { benchRefresh(b, 30) }
+
+func BenchmarkRxPower(b *testing.B) {
+	road, err := traffic.New(traffic.DefaultConfig(15), xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := New(DefaultConfig(), road)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pick a linked pair.
+	var tx, rx int
+	found := false
+	for i := 0; i < w.NumVehicles() && !found; i++ {
+		if ls := w.Links(i); len(ls) > 0 {
+			tx, rx = i, ls[0].J
+			found = true
+		}
+	}
+	if !found {
+		b.Skip("no links")
+	}
+	lnk, _ := w.Link(tx, rx)
+	back, _ := w.Link(rx, tx)
+	beamA := beamOf(lnk.Bearing)
+	beamB := beamOf(back.Bearing)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.RxPowerMw(tx, rx, beamA, beamB)
+	}
+}

@@ -1,0 +1,338 @@
+// Package world binds the traffic substrate to the channel model. It owns
+// the per-snapshot state every protocol consumes: vehicle positions and
+// headings, the pairwise link table (distance, bearing, blocker count, path
+// gain) for all pairs within interference range, and the line-of-sight
+// one-hop neighbor sets that define the OHM problem (Sec. II-B).
+//
+// The table is refreshed at the paper's 5 ms cadence ("vehicle position and
+// link quality is updated every 5 ms"); between refreshes all queries are
+// O(1) lookups, which is what makes the event-driven control plane (144
+// sector slots + 40 negotiation slots per frame) affordable.
+package world
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mmv2v/internal/channel"
+	"mmv2v/internal/geom"
+	"mmv2v/internal/phy"
+	"mmv2v/internal/traffic"
+	"mmv2v/internal/xrand"
+)
+
+// Config parameterizes link-table construction.
+type Config struct {
+	// CommRange is the one-hop neighbor disk radius in meters (the paper's
+	// "dotted disk"; DESIGN.md: 50 m default, calibrated so the Fig. 6
+	// densities yield the paper's 5–8 average LOS neighbors).
+	CommRange float64
+	// InterferenceRange bounds which transmitters contribute interference
+	// (beyond it, even main-lobe power is far below noise).
+	InterferenceRange float64
+	// Channel is the propagation model configuration.
+	Channel channel.Params
+	// ShadowSeed drives the per-pair shadowing draws when
+	// Channel.ShadowSigmaDB > 0.
+	ShadowSeed uint64
+}
+
+// DefaultConfig returns the paper-calibrated world configuration.
+func DefaultConfig() Config {
+	return Config{
+		CommRange:         50,
+		InterferenceRange: 250,
+		Channel:           channel.DefaultParams(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.CommRange <= 0 {
+		return fmt.Errorf("world: non-positive comm range %v", c.CommRange)
+	}
+	if c.InterferenceRange < c.CommRange {
+		return fmt.Errorf("world: interference range %v below comm range %v",
+			c.InterferenceRange, c.CommRange)
+	}
+	return c.Channel.Validate()
+}
+
+// Link is one directed entry of the pair table: the link from a vehicle to
+// peer J. Dist, Blockers and PathGainLin are symmetric; Bearing is the
+// compass bearing from the owning vehicle toward J.
+type Link struct {
+	J           int
+	Dist        float64
+	Bearing     geom.Bearing
+	Blockers    int
+	PathGainLin float64
+}
+
+// LOS reports whether the link has an unobstructed line of sight.
+func (l Link) LOS() bool { return l.Blockers == 0 }
+
+// World is the live geometric + radio state. Create with New; refresh with
+// Refresh after advancing traffic. Not safe for concurrent use.
+type World struct {
+	cfg      Config
+	road     *traffic.Road
+	model    *channel.Model
+	patterns *channel.PatternCache
+
+	n       int
+	pos     []geom.Vec
+	heading []geom.Bearing
+	speed   []float64
+	links   [][]Link
+	// idx maps i*n+j to the position of j in links[i], or -1.
+	idx       []int32
+	neighbors [][]int
+	// halfLen/halfWid cache per-vehicle body half extents (cars vs trucks).
+	halfLen []float64
+	halfWid []float64
+}
+
+// New builds a World over a road. Refresh is called once so the world is
+// immediately queryable.
+func New(cfg Config, road *traffic.Road) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := channel.NewModel(cfg.Channel)
+	if err != nil {
+		return nil, err
+	}
+	n := road.NumVehicles()
+	w := &World{
+		cfg:       cfg,
+		road:      road,
+		model:     model,
+		patterns:  channel.NewPatternCache(cfg.Channel.SideLobeDB),
+		n:         n,
+		pos:       make([]geom.Vec, n),
+		heading:   make([]geom.Bearing, n),
+		speed:     make([]float64, n),
+		links:     make([][]Link, n),
+		idx:       make([]int32, n*n),
+		neighbors: make([][]int, n),
+	}
+	w.Refresh()
+	return w, nil
+}
+
+// NumVehicles returns the vehicle count.
+func (w *World) NumVehicles() int { return w.n }
+
+// Config returns the world configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Road returns the underlying traffic simulation.
+func (w *World) Road() *traffic.Road { return w.road }
+
+// Channel returns the channel model.
+func (w *World) Channel() *channel.Model { return w.model }
+
+// Position returns vehicle i's current position.
+func (w *World) Position(i int) geom.Vec { return w.pos[i] }
+
+// Heading returns vehicle i's current travel bearing (its GPS heading).
+func (w *World) Heading(i int) geom.Bearing { return w.heading[i] }
+
+// Speed returns vehicle i's current speed in m/s.
+func (w *World) Speed(i int) float64 { return w.speed[i] }
+
+// Refresh recomputes positions and the pair table from the road state. Call
+// after every traffic step (the paper's 5 ms update).
+func (w *World) Refresh() {
+	rcfg := w.road.Config()
+	vehicles := w.road.Vehicles()
+	for i, v := range vehicles {
+		w.pos[i] = rcfg.Position(v)
+		w.heading[i] = rcfg.Heading(v)
+		w.speed[i] = v.V
+	}
+
+	// Sort indices by x for the blocker prune.
+	order := make([]int, w.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return w.pos[order[a]].X < w.pos[order[b]].X })
+	xs := make([]float64, w.n)
+	for k, i := range order {
+		xs[k] = w.pos[i].X
+	}
+
+	for i := range w.links {
+		w.links[i] = w.links[i][:0]
+		w.neighbors[i] = w.neighbors[i][:0]
+	}
+	for i := range w.idx {
+		w.idx[i] = -1
+	}
+
+	// Per-vehicle half extents (cars vs trucks).
+	if len(w.halfLen) != w.n {
+		w.halfLen = make([]float64, w.n)
+		w.halfWid = make([]float64, w.n)
+	}
+	maxLen := 0.0
+	for i, v := range vehicles {
+		l, wd := rcfg.Dimensions(v)
+		w.halfLen[i] = l / 2
+		w.halfWid[i] = wd / 2
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	// Sweep pairs in x order: only vehicles within the interference range
+	// along x can be in range at all, which cuts the pair scan from O(N²)
+	// to O(N·k) at the paper's densities.
+	for ka := 0; ka < w.n; ka++ {
+		a := order[ka]
+		for kb := ka + 1; kb < w.n; kb++ {
+			b := order[kb]
+			if w.pos[b].X-w.pos[a].X > w.cfg.InterferenceRange {
+				break
+			}
+			d := w.pos[a].Dist(w.pos[b])
+			if d > w.cfg.InterferenceRange || d == 0 {
+				continue
+			}
+			blockers := w.countBlockers(a, b, order, xs, maxLen)
+			gain := w.model.PathGainLin(d, blockers) * w.shadowFactor(a, b)
+			bAB := w.pos[a].BearingTo(w.pos[b])
+			bBA := geom.NormalizeBearing(bAB + geom.Bearing(math.Pi))
+			w.idx[a*w.n+b] = int32(len(w.links[a]))
+			w.links[a] = append(w.links[a], Link{J: b, Dist: d, Bearing: bAB, Blockers: blockers, PathGainLin: gain})
+			w.idx[b*w.n+a] = int32(len(w.links[b]))
+			w.links[b] = append(w.links[b], Link{J: a, Dist: d, Bearing: bBA, Blockers: blockers, PathGainLin: gain})
+			if blockers == 0 && d <= w.cfg.CommRange {
+				w.neighbors[a] = append(w.neighbors[a], b)
+				w.neighbors[b] = append(w.neighbors[b], a)
+			}
+		}
+	}
+}
+
+// shadowFactor returns the linear per-pair log-normal shadowing factor, or
+// 1 when shadowing is disabled. The draw is a pure function of (seed, pair)
+// — static for a run, independent across pairs (quasi-static shadowing from
+// the pair's surrounding geometry).
+func (w *World) shadowFactor(a, b int) float64 {
+	sigma := w.cfg.Channel.ShadowSigmaDB
+	if sigma == 0 {
+		return 1
+	}
+	if a > b {
+		a, b = b, a
+	}
+	// Box–Muller from two uniform hashes of the pair identity.
+	u1 := float64(xrand.Mix(w.cfg.ShadowSeed, 0x5ad0, uint64(a), uint64(b))%(1<<52)+1) / float64(int64(1)<<52)
+	u2 := float64(xrand.Mix(w.cfg.ShadowSeed, 0x5ad1, uint64(a), uint64(b))%(1<<52)) / float64(int64(1)<<52)
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return channel.Lin(sigma * z)
+}
+
+// countBlockers counts vehicle bodies crossing the a–b segment, excluding
+// the endpoints' own bodies. Candidates are pruned to vehicles whose x lies
+// within the segment's x-extent (padded by the longest body on the road).
+func (w *World) countBlockers(a, b int, order []int, xs []float64, maxLen float64) int {
+	pa, pb := w.pos[a], w.pos[b]
+	lox := math.Min(pa.X, pb.X) - maxLen
+	hix := math.Max(pa.X, pb.X) + maxLen
+	loY := math.Min(pa.Y, pb.Y) - 3
+	hiY := math.Max(pa.Y, pb.Y) + 3
+	start := sort.SearchFloat64s(xs, lox)
+	blockers := 0
+	for k := start; k < len(xs) && xs[k] <= hix; k++ {
+		c := order[k]
+		if c == a || c == b {
+			continue
+		}
+		pc := w.pos[c]
+		if pc.Y < loY || pc.Y > hiY {
+			continue
+		}
+		body := geom.Rect{Center: pc, Heading: w.heading[c], HalfLen: w.halfLen[c], HalfWid: w.halfWid[c]}
+		if geom.SegmentIntersectsRect(pa, pb, body) {
+			blockers++
+		}
+	}
+	return blockers
+}
+
+// Link returns the pair-table entry from i toward j, if within interference
+// range.
+func (w *World) Link(i, j int) (Link, bool) {
+	k := w.idx[i*w.n+j]
+	if k < 0 {
+		return Link{}, false
+	}
+	return w.links[i][k], true
+}
+
+// Links returns all pair-table entries of vehicle i (within interference
+// range). Callers must not retain the slice across Refresh.
+func (w *World) Links(i int) []Link { return w.links[i] }
+
+// Neighbors returns vehicle i's current one-hop neighbor set: LOS vehicles
+// within CommRange (the OHM task set, Sec. II-B). Callers must not retain
+// the slice across Refresh.
+func (w *World) Neighbors(i int) []int { return w.neighbors[i] }
+
+// NeighborSnapshot deep-copies all neighbor sets, for freezing the metric
+// denominator at a window boundary.
+func (w *World) NeighborSnapshot() [][]int {
+	out := make([][]int, w.n)
+	for i := range out {
+		out[i] = append([]int(nil), w.neighbors[i]...)
+	}
+	return out
+}
+
+// AvgNeighborCount returns the mean LOS neighbor set size — the quantity the
+// paper's Fig. 6 scenarios are labeled with (5, 6, 7, 8).
+func (w *World) AvgNeighborCount() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	total := 0
+	for i := 0; i < w.n; i++ {
+		total += len(w.neighbors[i])
+	}
+	return float64(total) / float64(w.n)
+}
+
+// beamGain evaluates the antenna gain of a beam toward a target bearing.
+func (w *World) beamGain(beam phy.Beam, toward geom.Bearing) float64 {
+	if beam.IsOmni() {
+		return 1
+	}
+	return w.patterns.Get(beam.Width).Gain(geom.AngleDiff(beam.Bearing, toward))
+}
+
+// RxPowerMw returns the power (mW) vehicle rx receives from tx given both
+// beam configurations, or 0 if the pair is out of interference range.
+func (w *World) RxPowerMw(tx, rx int, txBeam, rxBeam phy.Beam) float64 {
+	lnk, ok := w.Link(tx, rx)
+	if !ok {
+		return 0
+	}
+	back, _ := w.Link(rx, tx)
+	gTx := w.beamGain(txBeam, lnk.Bearing)  // tx's gain toward rx
+	gRx := w.beamGain(rxBeam, back.Bearing) // rx's gain toward tx
+	return w.model.TxPowerMw() * gTx * lnk.PathGainLin * gRx
+}
+
+// SNRdB returns the interference-free SNR (dB) of a directed link with the
+// given beams, or -Inf when out of range.
+func (w *World) SNRdB(tx, rx int, txBeam, rxBeam phy.Beam) float64 {
+	p := w.RxPowerMw(tx, rx, txBeam, rxBeam)
+	if p == 0 {
+		return math.Inf(-1)
+	}
+	return channel.DB(p / w.model.NoiseMw())
+}

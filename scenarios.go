@@ -1,0 +1,82 @@
+package mmv2v
+
+// Prebuilt vehicle-placement generators for RunCustom: the controlled
+// formations cooperative-driving studies use. Compose the returned slices
+// (append them together) and hand the result to RunCustom. All positions
+// are arc positions along the vehicle's own direction of travel.
+
+// PlatoonSpec places n vehicles in one lane at a fixed headway, leader at
+// startM + (n−1)·headway, all at the same speed — the cooperative-driving
+// formation from the paper's introduction.
+func PlatoonSpec(dir Direction, lane, n int, startM, headwayM, speedMS float64) []VehicleSpec {
+	out := make([]VehicleSpec, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, VehicleSpec{
+			Dir:       dir,
+			Lane:      lane,
+			PositionM: startM + float64(i)*headwayM,
+			SpeedMS:   speedMS,
+		})
+	}
+	return out
+}
+
+// ConvoySpec places a platoon with escort vehicles in the adjacent lanes,
+// alternating sides, offset midway between platoon members — the formation
+// that keeps diagonal LOS links available when same-lane paths are blocked.
+func ConvoySpec(dir Direction, lane, n int, startM, headwayM, speedMS float64) []VehicleSpec {
+	out := PlatoonSpec(dir, lane, n, startM, headwayM, speedMS)
+	for i := 0; i < n-1; i++ {
+		escortLane := lane + 1
+		if i%2 == 1 {
+			escortLane = lane - 1
+		}
+		if escortLane < 0 {
+			escortLane = lane + 1
+		}
+		out = append(out, VehicleSpec{
+			Dir:       dir,
+			Lane:      escortLane,
+			PositionM: startM + (float64(i)+0.5)*headwayM,
+			SpeedMS:   speedMS,
+		})
+	}
+	return out
+}
+
+// OncomingSpec places n vehicles in the opposite direction, spread across
+// lanes round-robin at the given headway — transient high-relative-speed
+// neighbors that stress discovery and beam refinement.
+func OncomingSpec(dir Direction, n int, startM, headwayM, speedMS float64, lanes int) []VehicleSpec {
+	opposite := Eastbound
+	if dir == Eastbound {
+		opposite = Westbound
+	}
+	out := make([]VehicleSpec, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, VehicleSpec{
+			Dir:       opposite,
+			Lane:      i % lanes,
+			PositionM: startM + float64(i)*headwayM,
+			SpeedMS:   speedMS,
+		})
+	}
+	return out
+}
+
+// JamSpec places a dense stopped (or crawling) block of vehicles across all
+// the given lanes — the worst case for blockage and for the OHM task size.
+func JamSpec(dir Direction, lanes, perLane int, startM, gapM, speedMS float64) []VehicleSpec {
+	out := make([]VehicleSpec, 0, lanes*perLane)
+	for lane := 0; lane < lanes; lane++ {
+		for i := 0; i < perLane; i++ {
+			out = append(out, VehicleSpec{
+				Dir:       dir,
+				Lane:      lane,
+				PositionM: startM + float64(i)*gapM,
+				SpeedMS:   speedMS,
+			})
+		}
+	}
+	return out
+}
