@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments examples clean
+.PHONY: all build vet test test-short race bench experiments examples clean
 
 all: build vet test
 
@@ -17,6 +17,10 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the parallel trial runner and experiment fan-out.
+race:
+	$(GO) test -race -short ./...
 
 # One benchmark per paper table/figure plus simulator workloads.
 bench:

@@ -10,6 +10,11 @@
 // Results print as text tables with the same rows/series the paper plots.
 // The paper repeats each experiment 100 times; -trials trades fidelity for
 // runtime (full Fig. 9 at -trials 3 takes a few minutes).
+//
+// Trials run on a bounded worker pool; -workers caps the concurrency
+// (0, the default, uses all CPU cores). Tables are bit-identical for any
+// -workers value: trials are independently seeded and merged in trial
+// order.
 package main
 
 import (
@@ -31,14 +36,18 @@ func main() {
 
 func run(w io.Writer) error {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, t2, ablation, trucks, warmup, all")
-		trials = flag.Int("trials", 0, "trials per data point (0 = per-figure default)")
-		seed   = flag.Uint64("seed", 1, "experiment seed")
-		format = flag.String("format", "table", "output format: table or csv")
+		fig     = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, t2, ablation, trucks, warmup, all")
+		trials  = flag.Int("trials", 0, "trials per data point (0 = per-figure default)")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		format  = flag.String("format", "table", "output format: table or csv")
+		workers = flag.Int("workers", 0, "max concurrent trial simulations (0 = all CPU cores); results are identical for any value")
 	)
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
 		return fmt.Errorf("unknown format %q (want table or csv)", *format)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("negative worker count %d", *workers)
 	}
 	csvMode := *format == "csv"
 
@@ -46,6 +55,7 @@ func run(w io.Writer) error {
 		"6": func() error {
 			opts := mmv2v.DefaultFig6Options()
 			opts.Seed = *seed
+			opts.Workers = *workers
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -63,6 +73,7 @@ func run(w io.Writer) error {
 		"7": func() error {
 			opts := mmv2v.DefaultFig7Options()
 			opts.Seed = *seed
+			opts.Workers = *workers
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -80,6 +91,7 @@ func run(w io.Writer) error {
 		"8": func() error {
 			opts := mmv2v.DefaultFig8Options()
 			opts.Seed = *seed
+			opts.Workers = *workers
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -97,6 +109,7 @@ func run(w io.Writer) error {
 		"9": func() error {
 			opts := mmv2v.DefaultFig9Options()
 			opts.Seed = *seed
+			opts.Workers = *workers
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -130,6 +143,7 @@ func run(w io.Writer) error {
 		"warmup": func() error {
 			opts := mmv2v.DefaultWarmupOptions()
 			opts.Seed = *seed
+			opts.Workers = *workers
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -144,6 +158,7 @@ func run(w io.Writer) error {
 		"trucks": func() error {
 			opts := mmv2v.DefaultTrucksOptions()
 			opts.Seed = *seed
+			opts.Workers = *workers
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -161,6 +176,7 @@ func run(w io.Writer) error {
 		"ablation": func() error {
 			opts := mmv2v.DefaultAblationOptions()
 			opts.Seed = *seed
+			opts.Workers = *workers
 			if *trials > 0 {
 				opts.Trials = *trials
 			}

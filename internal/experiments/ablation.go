@@ -20,6 +20,9 @@ type AblationOptions struct {
 	Seed       uint64
 	Trials     int
 	DensityVPL float64
+	// Workers bounds concurrent trial simulations across all variants
+	// (0 = GOMAXPROCS). The table is identical for any value.
+	Workers int
 }
 
 // DefaultAblationOptions returns the standard setting.
@@ -64,19 +67,27 @@ func Ablation(opts AblationOptions) (*AblationResult, error) {
 		{"log-normal shadowing σ=4 dB", core.Factory(core.DefaultParams()),
 			func(c *sim.Config) { c.World.Channel.ShadowSigmaDB = 4 }},
 	}
-	res := &AblationResult{Opts: opts}
-	for _, v := range variants {
+	// One cell per variant, all submitting trials to a shared runner; the
+	// slot-per-variant buffer keeps the row order fixed by the variant list.
+	runner := sim.NewRunner(opts.Workers)
+	rows := make([]AblationRow, len(variants))
+	err := sim.Gather(len(variants), func(vi int) error {
+		v := variants[vi]
 		cfg := scenario(opts.DensityVPL, opts.Seed)
 		if v.mutate != nil {
 			v.mutate(&cfg)
 		}
-		pooled, err := sim.RunTrials(cfg, v.factory, opts.Trials)
+		pooled, err := runner.RunTrials(cfg, v.factory, opts.Trials)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, AblationRow{Variant: v.name, Summary: pooled.Summary})
+		rows[vi] = AblationRow{Variant: v.name, Summary: pooled.Summary}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblationResult{Opts: opts, Rows: rows}, nil
 }
 
 func withCodebookRx(rxWidth float64) core.Params {

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFig9TableByteIdenticalAcrossWorkers pins the parallel-merge invariant
+// at the experiment level: the rendered Fig. 9 table must be byte-identical
+// whether the cells and trials run on one worker or eight.
+func TestFig9TableByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment determinism test")
+	}
+	render := func(workers int) []byte {
+		opts := Fig9Options{Seed: 1, Trials: 2, Densities: []float64{12}, Workers: workers}
+		res, err := Fig9(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		res.WriteTable(&buf)
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("Fig. 9 output differs between Workers=1 and Workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}

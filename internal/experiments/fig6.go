@@ -29,6 +29,10 @@ type Fig6Options struct {
 	// Frames averaged per trial (matching evolves identically each frame in
 	// a near-static topology, so a few suffice).
 	Frames int
+	// Workers bounds concurrent trial simulations across all
+	// (scenario, C) cells (0 = GOMAXPROCS). The curves are identical for
+	// any value.
+	Workers int
 }
 
 // DefaultFig6Options returns the paper's configuration.
@@ -72,37 +76,67 @@ func Fig6(opts Fig6Options) (*Fig6Result, error) {
 	if opts.Trials <= 0 || opts.MaxSlots <= 0 || opts.Frames <= 0 {
 		return nil, fmt.Errorf("experiments: invalid Fig6 options %+v", opts)
 	}
-	res := &Fig6Result{Opts: opts}
-	for _, density := range opts.Densities {
-		sc := Fig6Scenario{DensityVPL: density}
-		for _, c := range opts.CValues {
-			sum := make([]float64, opts.MaxSlots)
-			samples := 0
-			for trial := 0; trial < opts.Trials; trial++ {
-				cfg := scenario(density, trialSeed(opts.Seed, trial))
-				// A huge demand keeps every pair hungry: Fig. 6 measures
-				// matching capacity, not task completion.
-				cfg.DemandBits = 1e15
-				env, err := sim.NewEnv(cfg)
-				if err != nil {
-					return nil, err
-				}
-				params := core.DefaultParams()
-				params.C = c
-				params.M = opts.MaxSlots
-				proto := core.New(env, params)
-				proto.SetSlotObserver(func(frame, slot int) {
-					sum[slot] += capacityPerVehicle(env, proto, params.Codebook)
-				})
-				env.DriveFrames(proto, 0, opts.Frames)
-				samples += opts.Frames
-				if c == opts.CValues[0] {
-					sc.AvgNeighbors += env.World.AvgNeighborCount() / float64(opts.Trials)
-				}
+	// One cell per (scenario, C) pair; within a cell, each trial runs on the
+	// shared pool with its own environment and per-slot sums, which merge in
+	// trial order so the curves are identical for any worker count.
+	runner := sim.NewRunner(opts.Workers)
+	nc := len(opts.CValues)
+	type fig6Cell struct {
+		sums []float64
+		avgN float64
+	}
+	cells := make([]fig6Cell, len(opts.Densities)*nc)
+	err := sim.Gather(len(cells), func(k int) error {
+		di, ci := k/nc, k%nc
+		c := opts.CValues[ci]
+		trialSums := make([][]float64, opts.Trials)
+		trialAvgN := make([]float64, opts.Trials)
+		if err := runner.Do(opts.Trials, func(trial int) error {
+			cfg := scenario(opts.Densities[di], trialSeed(opts.Seed, trial))
+			// A huge demand keeps every pair hungry: Fig. 6 measures
+			// matching capacity, not task completion.
+			cfg.DemandBits = 1e15
+			env, err := sim.NewEnv(cfg)
+			if err != nil {
+				return err
 			}
+			params := core.DefaultParams()
+			params.C = c
+			params.M = opts.MaxSlots
+			proto := core.New(env, params)
+			sums := make([]float64, opts.MaxSlots)
+			proto.SetSlotObserver(func(frame, slot int) {
+				sums[slot] += capacityPerVehicle(env, proto, params.Codebook)
+			})
+			env.DriveFrames(proto, 0, opts.Frames)
+			trialSums[trial] = sums
+			trialAvgN[trial] = env.World.AvgNeighborCount()
+			return nil
+		}); err != nil {
+			return err
+		}
+		cell := &cells[k]
+		cell.sums = make([]float64, opts.MaxSlots)
+		for trial := 0; trial < opts.Trials; trial++ {
+			for m, v := range trialSums[trial] {
+				cell.sums[m] += v
+			}
+			cell.avgN += trialAvgN[trial] / float64(opts.Trials)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Opts: opts}
+	for di, density := range opts.Densities {
+		sc := Fig6Scenario{DensityVPL: density, AvgNeighbors: cells[di*nc].avgN}
+		for ci, c := range opts.CValues {
+			cell := cells[di*nc+ci]
+			samples := float64(opts.Trials * opts.Frames)
 			series := Fig6Series{C: c, CapacityBps: make([]float64, opts.MaxSlots)}
-			for m := range sum {
-				series.CapacityBps[m] = sum[m] / float64(samples)
+			for m := range cell.sums {
+				series.CapacityBps[m] = cell.sums[m] / samples
 			}
 			sc.Series = append(sc.Series, series)
 		}

@@ -20,6 +20,9 @@ type Fig7Options struct {
 	M          int
 	// CurvePoints samples each CDF for printing.
 	CurvePoints int
+	// Workers bounds concurrent trial simulations across all K cells
+	// (0 = GOMAXPROCS). The curves are identical for any value.
+	Workers int
 }
 
 // DefaultFig7Options returns the paper's configuration (with fewer trials
@@ -55,30 +58,37 @@ func Fig7(opts Fig7Options) (*Fig7Result, error) {
 	if opts.Trials <= 0 || len(opts.KValues) == 0 {
 		return nil, fmt.Errorf("experiments: invalid Fig7 options %+v", opts)
 	}
-	res := &Fig7Result{Opts: opts}
-	for _, k := range opts.KValues {
+	// One cell per K value, all submitting trials to a shared runner; the
+	// slot-per-cell buffer keeps the curve order fixed by KValues.
+	runner := sim.NewRunner(opts.Workers)
+	curves := make([]Fig7Curve, len(opts.KValues))
+	err := sim.Gather(len(curves), func(ki int) error {
 		params := core.DefaultParams()
-		params.K = k
+		params.K = opts.KValues[ki]
 		params.M = opts.M
 		cfg := scenario(opts.DensityVPL, opts.Seed)
-		pooled, err := sim.RunTrials(cfg, core.Factory(params), opts.Trials)
+		pooled, err := runner.RunTrials(cfg, core.Factory(params), opts.Trials)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var ocrs, atps []float64
 		for _, s := range pooled.Stats {
 			ocrs = append(ocrs, s.OCR)
 			atps = append(atps, s.ATP)
 		}
-		res.Curves = append(res.Curves, Fig7Curve{
-			K:       k,
+		curves[ki] = Fig7Curve{
+			K:       opts.KValues[ki],
 			MeanOCR: pooled.Summary.MeanOCR,
 			MeanATP: pooled.Summary.MeanATP,
 			OCRCDF:  metrics.NewCDF(ocrs),
 			ATPCDF:  metrics.NewCDF(atps),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig7Result{Opts: opts, Curves: curves}, nil
 }
 
 // BestK returns the K with the highest mean OCR (paper: K = 3).

@@ -19,6 +19,9 @@ type Fig8Options struct {
 	MValues     []int
 	K           int
 	CurvePoints int
+	// Workers bounds concurrent trial simulations across all M cells
+	// (0 = GOMAXPROCS). The curves are identical for any value.
+	Workers int
 }
 
 // DefaultFig8Options returns the paper's configuration.
@@ -53,30 +56,37 @@ func Fig8(opts Fig8Options) (*Fig8Result, error) {
 	if opts.Trials <= 0 || len(opts.MValues) == 0 {
 		return nil, fmt.Errorf("experiments: invalid Fig8 options %+v", opts)
 	}
-	res := &Fig8Result{Opts: opts}
-	for _, m := range opts.MValues {
+	// One cell per M value, all submitting trials to a shared runner; the
+	// slot-per-cell buffer keeps the curve order fixed by MValues.
+	runner := sim.NewRunner(opts.Workers)
+	curves := make([]Fig8Curve, len(opts.MValues))
+	err := sim.Gather(len(curves), func(mi int) error {
 		params := core.DefaultParams()
 		params.K = opts.K
-		params.M = m
+		params.M = opts.MValues[mi]
 		cfg := scenario(opts.DensityVPL, opts.Seed)
-		pooled, err := sim.RunTrials(cfg, core.Factory(params), opts.Trials)
+		pooled, err := runner.RunTrials(cfg, core.Factory(params), opts.Trials)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var ocrs, atps []float64
 		for _, s := range pooled.Stats {
 			ocrs = append(ocrs, s.OCR)
 			atps = append(atps, s.ATP)
 		}
-		res.Curves = append(res.Curves, Fig8Curve{
-			M:       m,
+		curves[mi] = Fig8Curve{
+			M:       opts.MValues[mi],
 			MeanOCR: pooled.Summary.MeanOCR,
 			MeanATP: pooled.Summary.MeanATP,
 			OCRCDF:  metrics.NewCDF(ocrs),
 			ATPCDF:  metrics.NewCDF(atps),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig8Result{Opts: opts, Curves: curves}, nil
 }
 
 // BestM returns the M with the highest mean OCR (paper: M = 40).

@@ -21,6 +21,9 @@ type Fig9Options struct {
 	// IncludeOracle adds the centralized greedy upper bound as a fourth
 	// series (not in the paper; useful context).
 	IncludeOracle bool
+	// Workers bounds concurrent trial simulations across all cells
+	// (0 = GOMAXPROCS). The tables are identical for any value.
+	Workers int
 }
 
 // DefaultFig9Options returns the paper's configuration (densities 15–30
@@ -68,24 +71,42 @@ func Fig9(opts Fig9Options) (*Fig9Result, error) {
 	if opts.IncludeOracle {
 		factories = append(factories, core.OracleFactory(core.DefaultParams()))
 	}
+	// Every (density, protocol) cell is independent: all cells submit their
+	// trials to one shared runner and write into a slot-per-cell buffer, so
+	// the table assembly order below is fixed by the option lists, never by
+	// completion order.
+	runner := sim.NewRunner(opts.Workers)
+	nf := len(factories)
+	cells := make([]Fig9Cell, len(opts.Densities)*nf)
+	avgN := make([]float64, len(cells))
+	err := sim.Gather(len(cells), func(k int) error {
+		di, fi := k/nf, k%nf
+		cfg := scenario(opts.Densities[di], opts.Seed)
+		pooled, err := runner.RunTrials(cfg, factories[fi], opts.Trials)
+		if err != nil {
+			return err
+		}
+		ocrs := make([]float64, 0, len(pooled.Stats))
+		for _, st := range pooled.Stats {
+			ocrs = append(ocrs, st.OCR)
+		}
+		_, ci := metrics.MeanCI95(ocrs)
+		cells[k] = Fig9Cell{Protocol: pooled.Protocol, Summary: pooled.Summary, OCRCI95: ci}
+		avgN[k] = pooled.AvgNeighbors
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig9Result{Opts: opts}
-	for _, density := range opts.Densities {
+	for di, density := range opts.Densities {
 		row := Fig9Row{DensityVPL: density}
-		for _, f := range factories {
-			cfg := scenario(density, opts.Seed)
-			pooled, err := sim.RunTrials(cfg, f, opts.Trials)
-			if err != nil {
-				return nil, err
-			}
-			row.AvgNeighbors = pooled.AvgNeighbors
-			ocrs := make([]float64, 0, len(pooled.Stats))
-			for _, st := range pooled.Stats {
-				ocrs = append(ocrs, st.OCR)
-			}
-			_, ci := metrics.MeanCI95(ocrs)
-			row.Cells = append(row.Cells, Fig9Cell{Protocol: pooled.Protocol, Summary: pooled.Summary, OCRCI95: ci})
-			if len(res.Rows) == 0 {
-				res.Protocols = append(res.Protocols, pooled.Protocol)
+		for fi := 0; fi < nf; fi++ {
+			k := di*nf + fi
+			row.AvgNeighbors = avgN[k]
+			row.Cells = append(row.Cells, cells[k])
+			if di == 0 {
+				res.Protocols = append(res.Protocols, cells[k].Protocol)
 			}
 		}
 		res.Rows = append(res.Rows, row)

@@ -22,6 +22,9 @@ type TrucksOptions struct {
 	Fractions []float64
 	// IncludeBaselines also measures ROP and 802.11ad under each mix.
 	IncludeBaselines bool
+	// Workers bounds concurrent trial simulations across all cells
+	// (0 = GOMAXPROCS). The table is identical for any value.
+	Workers int
 }
 
 // DefaultTrucksOptions returns the standard sweep.
@@ -59,20 +62,37 @@ func Trucks(opts TrucksOptions) (*TrucksResult, error) {
 			baseline.ROPFactory(baseline.DefaultROPParams()),
 			baseline.ADFactory(baseline.DefaultADParams()))
 	}
+	// Every (fraction, protocol) cell submits its trials to a shared runner
+	// and writes into a slot-per-cell buffer; the table assembly order below
+	// is fixed by the option lists, never by completion order.
+	runner := sim.NewRunner(opts.Workers)
+	nf := len(factories)
+	cells := make([]Fig9Cell, len(opts.Fractions)*nf)
+	avgN := make([]float64, len(cells))
+	err := sim.Gather(len(cells), func(k int) error {
+		fr, fi := k/nf, k%nf
+		cfg := scenario(opts.DensityVPL, opts.Seed)
+		cfg.Traffic.TruckFraction = opts.Fractions[fr]
+		pooled, err := runner.RunTrials(cfg, factories[fi], opts.Trials)
+		if err != nil {
+			return err
+		}
+		cells[k] = Fig9Cell{Protocol: pooled.Protocol, Summary: pooled.Summary}
+		avgN[k] = pooled.AvgNeighbors
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &TrucksResult{Opts: opts}
-	for _, frac := range opts.Fractions {
+	for fr, frac := range opts.Fractions {
 		row := TrucksRow{Fraction: frac}
-		for _, f := range factories {
-			cfg := scenario(opts.DensityVPL, opts.Seed)
-			cfg.Traffic.TruckFraction = frac
-			pooled, err := sim.RunTrials(cfg, f, opts.Trials)
-			if err != nil {
-				return nil, err
-			}
-			row.AvgNeighbors = pooled.AvgNeighbors
-			row.Cells = append(row.Cells, Fig9Cell{Protocol: pooled.Protocol, Summary: pooled.Summary})
-			if len(res.Rows) == 0 {
-				res.Protocols = append(res.Protocols, pooled.Protocol)
+		for fi := 0; fi < nf; fi++ {
+			k := fr*nf + fi
+			row.AvgNeighbors = avgN[k]
+			row.Cells = append(row.Cells, cells[k])
+			if fr == 0 {
+				res.Protocols = append(res.Protocols, cells[k].Protocol)
 			}
 		}
 		res.Rows = append(res.Rows, row)

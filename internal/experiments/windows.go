@@ -19,6 +19,9 @@ type WarmupOptions struct {
 	Trials     int
 	DensityVPL float64
 	Windows    int
+	// Workers bounds concurrent trial simulations (0 = GOMAXPROCS). The
+	// table is identical for any value.
+	Workers int
 }
 
 // DefaultWarmupOptions returns the standard setting.
@@ -43,14 +46,22 @@ func Warmup(opts WarmupOptions) (*WarmupResult, error) {
 	if opts.Trials <= 0 || opts.Windows <= 0 {
 		return nil, fmt.Errorf("experiments: invalid warmup options %+v", opts)
 	}
-	perWindow := make([][]metrics.VehicleStats, opts.Windows)
-	for trial := 0; trial < opts.Trials; trial++ {
+	// Trials run on the pool into a slot-per-trial buffer; the per-window
+	// pools below merge in trial order, independent of completion order.
+	runner := sim.NewRunner(opts.Workers)
+	results := make([]*sim.Result, opts.Trials)
+	err := runner.Do(opts.Trials, func(trial int) error {
 		cfg := scenario(opts.DensityVPL, trialSeed(opts.Seed, trial))
 		cfg.Windows = opts.Windows
 		res, err := sim.Run(cfg, core.Factory(core.DefaultParams()))
-		if err != nil {
-			return nil, err
-		}
+		results[trial] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	perWindow := make([][]metrics.VehicleStats, opts.Windows)
+	for _, res := range results {
 		for w, win := range res.Windows {
 			perWindow[w] = append(perWindow[w], win.Stats...)
 		}

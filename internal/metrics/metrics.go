@@ -157,6 +157,22 @@ func Summarize(stats []VehicleStats) Summary {
 	return s
 }
 
+// Merge concatenates per-slot stat slices in slot order and summarizes the
+// pool. Parallel trial runners hand it one slot per trial, so the pooled
+// stats and Summary depend only on the slot order — never on which trial
+// finished first — and are bit-identical to a serial append loop.
+func Merge(parts [][]VehicleStats) ([]VehicleStats, Summary) {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	pooled := make([]VehicleStats, 0, total)
+	for _, p := range parts {
+		pooled = append(pooled, p...)
+	}
+	return pooled, Summarize(pooled)
+}
+
 // CDF is an empirical cumulative distribution over a sample.
 type CDF struct {
 	xs []float64

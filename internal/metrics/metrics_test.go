@@ -2,9 +2,35 @@ package metrics
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
+
+// TestMergeMatchesSerialAppend pins the pooling contract parallel runners
+// rely on: Merge over per-trial slots equals a serial append loop, and the
+// result depends only on slot order.
+func TestMergeMatchesSerialAppend(t *testing.T) {
+	parts := [][]VehicleStats{
+		{{Vehicle: 0, Neighbors: 2, OCR: 0.5, ATP: 0.25, DTP: 0.1}},
+		nil,
+		{{Vehicle: 1, Neighbors: 3, OCR: 1, ATP: 0.75, DTP: 0}, {Vehicle: 2, Neighbors: 1, OCR: 0, ATP: 0.5, DTP: 0.2}},
+	}
+	var serial []VehicleStats
+	for _, p := range parts {
+		serial = append(serial, p...)
+	}
+	pooled, summary := Merge(parts)
+	if !reflect.DeepEqual(pooled, serial) {
+		t.Errorf("Merge pooled %+v, want %+v", pooled, serial)
+	}
+	if want := Summarize(serial); summary != want {
+		t.Errorf("Merge summary %+v, want %+v", summary, want)
+	}
+	if pooled, summary := Merge(nil); len(pooled) != 0 || summary != (Summary{}) {
+		t.Errorf("Merge(nil) = %+v, %+v", pooled, summary)
+	}
+}
 
 func TestLedgerAddAndExchanged(t *testing.T) {
 	l := NewLedger(10)

@@ -1,0 +1,136 @@
+// Trial execution engine: a bounded worker pool that runs independent
+// simulation trials concurrently without giving up determinism.
+//
+// Every trial is a pure function of its config and derived seed (own road,
+// world, DES and RNG streams), so trials can run in any order on any number
+// of workers. Results land in a slot-per-trial buffer and merge in trial
+// order, which makes the pooled output bit-identical to a serial loop for
+// every worker count — the invariant the determinism regression tests pin.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mmv2v/internal/metrics"
+	"mmv2v/internal/xrand"
+)
+
+// Runner executes independent simulation jobs on a bounded worker pool. One
+// Runner can be shared by many concurrent submitters (e.g. every cell of an
+// experiment grid), which bounds the total simulation concurrency of the
+// whole experiment rather than per call site.
+type Runner struct {
+	workers int
+	sem     chan struct{}
+}
+
+// NewRunner returns a Runner with the given worker bound; workers <= 0 uses
+// runtime.GOMAXPROCS(0).
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (r *Runner) Workers() int { return r.workers }
+
+// Do runs jobs 0..n-1 with at most Workers executing at once and blocks
+// until all complete. Jobs must write their results into caller-owned
+// per-index slots; Do returns the lowest-index error so that failure
+// reporting does not depend on completion order. Jobs themselves must not
+// submit further work to the same Runner while holding their slot — use
+// Gather for coordinator fan-out above the pool.
+func (r *Runner) Do(n int, job func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		r.sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-r.sem }()
+			errs[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+// Gather runs n coordinator jobs concurrently — without occupying pool
+// slots — and returns the lowest-index error. Coordinators only submit leaf
+// work to a shared Runner and merge slot buffers, so they are cheap and
+// bounding them would only risk starving the pool they feed.
+func Gather(n int, job func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+// firstError returns the lowest-index non-nil error, keeping error
+// propagation deterministic under concurrency.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunTrials runs the same scenario with distinct per-trial seeds on the
+// pool and merges the results in trial order. The per-trial seed depends
+// only on (cfg.Seed, trial) and every trial builds its own environment, so
+// the pooled Result is bit-identical for any worker count — and to the
+// serial loop this engine replaced. cfg.Workers is ignored here: the
+// receiver's bound governs, so experiment grids sharing one Runner get one
+// global concurrency budget. When cfg.Trace is set, trials run on a single
+// worker so the recorded event stream keeps a deterministic order.
+func (r *Runner) RunTrials(cfg Config, factory Factory, trials int) (*Result, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: non-positive trial count %d", trials)
+	}
+	pool := r
+	if cfg.Trace != nil && r.workers > 1 {
+		pool = NewRunner(1)
+	}
+	results := make([]*Result, trials)
+	err := pool.Do(trials, func(tr int) error {
+		c := cfg
+		c.Seed = xrand.Mix(cfg.Seed, uint64(tr))
+		res, err := Run(c, factory)
+		results[tr] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeTrials(results), nil
+}
+
+// mergeTrials pools per-trial results in slice (= trial) order.
+func mergeTrials(results []*Result) *Result {
+	pooled := &Result{}
+	parts := make([][]metrics.VehicleStats, 0, len(results))
+	for _, r := range results {
+		pooled.Protocol = r.Protocol
+		pooled.Windows = append(pooled.Windows, r.Windows...)
+		parts = append(parts, r.Stats)
+		pooled.AvgNeighbors += r.AvgNeighbors
+		pooled.Events += r.Events
+	}
+	pooled.Stats, pooled.Summary = metrics.Merge(parts)
+	pooled.AvgNeighbors /= float64(len(results))
+	return pooled
+}

@@ -1,0 +1,115 @@
+package sim_test
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mmv2v/internal/sim"
+)
+
+func TestRunnerDefaultsToGOMAXPROCS(t *testing.T) {
+	if w := sim.NewRunner(0).Workers(); w < 1 {
+		t.Errorf("default workers = %d", w)
+	}
+	if w := sim.NewRunner(3).Workers(); w != 3 {
+		t.Errorf("workers = %d, want 3", w)
+	}
+}
+
+func TestRunnerDoBoundsConcurrency(t *testing.T) {
+	const workers, jobs = 2, 16
+	r := sim.NewRunner(workers)
+	var cur, max int64
+	var mu sync.Mutex
+	err := r.Do(jobs, func(int) error {
+		n := atomic.AddInt64(&cur, 1)
+		mu.Lock()
+		if n > max {
+			max = n
+		}
+		mu.Unlock()
+		atomic.AddInt64(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max > workers {
+		t.Errorf("observed %d concurrent jobs, bound is %d", max, workers)
+	}
+}
+
+func TestRunnerDoReturnsLowestIndexError(t *testing.T) {
+	r := sim.NewRunner(4)
+	errA, errB := errors.New("job 2"), errors.New("job 5")
+	err := r.Do(8, func(i int) error {
+		switch i {
+		case 2:
+			return errA
+		case 5:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Errorf("err = %v, want lowest-index error %v", err, errA)
+	}
+}
+
+func TestGatherRunsAllJobs(t *testing.T) {
+	var n int64
+	if err := sim.Gather(10, func(int) error {
+		atomic.AddInt64(&n, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("ran %d jobs, want 10", n)
+	}
+	want := errors.New("boom")
+	if err := sim.Gather(3, func(i int) error {
+		if i == 1 {
+			return want
+		}
+		return nil
+	}); err != want {
+		t.Errorf("err = %v, want %v", err, want)
+	}
+}
+
+// TestRunTrialsDeterministicAcrossWorkers pins the parallel engine's core
+// contract: with the same seed, the pooled Result is bit-identical for any
+// worker count, because trials are independently seeded and merged in trial
+// order.
+func TestRunTrialsDeterministicAcrossWorkers(t *testing.T) {
+	cfg := sim.DefaultConfig(10, 5)
+	cfg.WindowSec = 0.1
+	const trials = 4
+	var results []*sim.Result
+	for _, workers := range []int{1, 4, 8} {
+		c := cfg
+		c.Workers = workers
+		res, err := sim.RunTrials(c, greedyFactory(), trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Errorf("Workers=1 and Workers=%d results differ", []int{1, 4, 8}[i])
+		}
+	}
+}
+
+func TestConfigValidateRejectsNegativeWorkers(t *testing.T) {
+	cfg := sim.DefaultConfig(10, 1)
+	cfg.Workers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative Workers should fail validation")
+	}
+}

@@ -44,6 +44,12 @@ type Config struct {
 	// WarmupSec steps traffic before the radio protocol starts so the flow
 	// reaches a steady state.
 	WarmupSec float64
+	// Workers bounds how many trials RunTrials executes concurrently; 0 (the
+	// default) uses runtime.GOMAXPROCS(0). Every trial gets its own road,
+	// world and RNG streams and results merge in trial order, so the pooled
+	// output is bit-identical for any worker count. Runs with a Trace
+	// recorder fall back to one worker so the event stream stays ordered.
+	Workers int
 	// Trace, when non-nil, receives structured protocol events
 	// (discoveries, matches, streams, completions). Nil disables tracing
 	// at zero cost.
@@ -85,6 +91,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: non-positive window count %d", c.Windows)
 	case c.WarmupSec < 0:
 		return fmt.Errorf("sim: negative warmup %v", c.WarmupSec)
+	case c.Workers < 0:
+		return fmt.Errorf("sim: negative worker count %d", c.Workers)
 	}
 	return nil
 }
@@ -280,25 +288,9 @@ func RunOnEnv(cfg Config, env *Env, factory Factory) (*Result, error) {
 
 // RunTrials runs the same scenario with distinct seeds and pools the
 // per-vehicle stats, mirroring the paper's repeated-experiment methodology.
+// Trials execute on a worker pool bounded by cfg.Workers (0 = GOMAXPROCS)
+// and merge in trial order; see Runner.RunTrials for the determinism
+// contract.
 func RunTrials(cfg Config, factory Factory, trials int) (*Result, error) {
-	if trials <= 0 {
-		return nil, fmt.Errorf("sim: non-positive trial count %d", trials)
-	}
-	pooled := &Result{}
-	for tr := 0; tr < trials; tr++ {
-		c := cfg
-		c.Seed = xrand.Mix(cfg.Seed, uint64(tr))
-		r, err := Run(c, factory)
-		if err != nil {
-			return nil, err
-		}
-		pooled.Protocol = r.Protocol
-		pooled.Windows = append(pooled.Windows, r.Windows...)
-		pooled.Stats = append(pooled.Stats, r.Stats...)
-		pooled.AvgNeighbors += r.AvgNeighbors
-		pooled.Events += r.Events
-	}
-	pooled.Summary = metrics.Summarize(pooled.Stats)
-	pooled.AvgNeighbors /= float64(trials)
-	return pooled, nil
+	return NewRunner(cfg.Workers).RunTrials(cfg, factory, trials)
 }

@@ -24,6 +24,7 @@ func benchRefresh(b *testing.B, density float64) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		road.Step(0.005)
@@ -32,9 +33,43 @@ func benchRefresh(b *testing.B, density float64) {
 }
 
 // BenchmarkRefresh measures the 5 ms snapshot rebuild — the simulator's
-// per-tick fixed cost (pair table + blocker counting).
+// per-tick fixed cost (pair table + blocker counting). The 60 vpl case is
+// beyond the paper's densities and exercises the scalability of the sweep
+// (no dense O(n²) index, reused scratch buffers).
 func BenchmarkRefresh15vpl(b *testing.B) { benchRefresh(b, 15) }
 func BenchmarkRefresh30vpl(b *testing.B) { benchRefresh(b, 30) }
+func BenchmarkRefresh60vpl(b *testing.B) { benchRefresh(b, 60) }
+
+// BenchmarkLinkLookup measures the Link(i, j) rank-window slot probe that
+// replaced the dense pair index.
+func BenchmarkLinkLookup(b *testing.B) {
+	road, err := traffic.New(traffic.DefaultConfig(30), xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := New(DefaultConfig(), road)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tx, rx int
+	found := false
+	for i := 0; i < w.NumVehicles() && !found; i++ {
+		if ls := w.Links(i); len(ls) > 0 {
+			tx, rx = i, ls[len(ls)/2].J
+			found = true
+		}
+	}
+	if !found {
+		b.Skip("no links")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := w.Link(tx, rx); !ok {
+			b.Fatal("link vanished")
+		}
+	}
+}
 
 func BenchmarkRxPower(b *testing.B) {
 	road, err := traffic.New(traffic.DefaultConfig(15), xrand.New(1))

@@ -1,0 +1,68 @@
+package world
+
+import (
+	"testing"
+
+	"mmv2v/internal/traffic"
+	"mmv2v/internal/xrand"
+)
+
+// TestLinkLookupMatchesDenseIndex pins the rank-window slot Link lookup
+// against a brute-force dense index rebuilt from Links(i), across randomized
+// worlds and several refresh steps — the equivalence the O(n²) matrix it
+// replaced provided by construction.
+func TestLinkLookupMatchesDenseIndex(t *testing.T) {
+	scenarios := []struct {
+		density float64
+		trucks  float64
+		seed    uint64
+	}{
+		{8, 0, 1},
+		{15, 0, 2},
+		{15, 0.3, 3},
+		{25, 0.1, 4},
+	}
+	for _, sc := range scenarios {
+		tc := traffic.DefaultConfig(sc.density)
+		tc.TruckFraction = sc.trucks
+		road, err := traffic.New(tc, xrand.New(sc.seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := New(DefaultConfig(), road)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 3; step++ {
+			if step > 0 {
+				road.Step(0.005)
+				w.Refresh()
+			}
+			checkLinkLookup(t, w)
+		}
+	}
+}
+
+func checkLinkLookup(t *testing.T, w *World) {
+	t.Helper()
+	n := w.NumVehicles()
+	for i := 0; i < n; i++ {
+		// Links(i) must be in ascending partner-x order — the invariant the
+		// rank-window slot build relies on.
+		dense := make(map[int]Link, len(w.Links(i)))
+		for k, l := range w.Links(i) {
+			if k > 0 && w.pos[l.J].X < w.pos[w.Links(i)[k-1].J].X {
+				t.Fatalf("vehicle %d links not sorted by partner x", i)
+			}
+			dense[l.J] = l
+		}
+		for j := 0; j < n; j++ {
+			got, ok := w.Link(i, j)
+			want, wantOK := dense[j]
+			if ok != wantOK || got != want {
+				t.Fatalf("Link(%d, %d) = %+v, %v; dense index says %+v, %v",
+					i, j, got, ok, want, wantOK)
+			}
+		}
+	}
+}

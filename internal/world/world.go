@@ -6,8 +6,11 @@
 //
 // The table is refreshed at the paper's 5 ms cadence ("vehicle position and
 // link quality is updated every 5 ms"); between refreshes all queries are
-// O(1) lookups, which is what makes the event-driven control plane (144
-// sector slots + 40 negotiation slots per frame) affordable.
+// O(1) probes into per-vehicle sorted link slices via compact rank-window
+// indexes (total size O(links), never O(n²)), which is what makes the
+// event-driven control plane (144 sector slots + 40 negotiation slots per
+// frame) affordable and lets vehicle counts scale without a dense pair
+// matrix.
 package world
 
 import (
@@ -81,17 +84,29 @@ type World struct {
 	model    *channel.Model
 	patterns *channel.PatternCache
 
-	n       int
-	pos     []geom.Vec
-	heading []geom.Bearing
-	speed   []float64
-	links   [][]Link
-	// idx maps i*n+j to the position of j in links[i], or -1.
-	idx       []int32
+	n         int
+	pos       []geom.Vec
+	heading   []geom.Bearing
+	speed     []float64
+	links     [][]Link
 	neighbors [][]int
 	// halfLen/halfWid cache per-vehicle body half extents (cars vs trucks).
 	halfLen []float64
 	halfWid []float64
+	// order/xs are the x-sorted vehicle permutation and its x coordinates.
+	// They persist across Refresh calls: positions move only micrometers per
+	// 5 ms tick, so re-sorting the previous permutation is nearly free, and
+	// reusing the buffers keeps the refresh hot path allocation-free.
+	order []int
+	xs    []float64
+	// rank is the inverse of order: rank[v] is v's position in x order.
+	// slotLo/slots form the O(1) link lookup: vehicle i's partners occupy a
+	// narrow band of consecutive x-ranks, so slots[i][rank[j]-slotLo[i]]
+	// holds the index of the i→j entry in links[i] (-1 when absent). Total
+	// size is O(links), never the O(n²) of a dense pair matrix.
+	rank   []int32
+	slotLo []int32
+	slots  [][]int32
 }
 
 // New builds a World over a road. Refresh is called once so the world is
@@ -115,8 +130,17 @@ func New(cfg Config, road *traffic.Road) (*World, error) {
 		heading:   make([]geom.Bearing, n),
 		speed:     make([]float64, n),
 		links:     make([][]Link, n),
-		idx:       make([]int32, n*n),
 		neighbors: make([][]int, n),
+		halfLen:   make([]float64, n),
+		halfWid:   make([]float64, n),
+		order:     make([]int, n),
+		xs:        make([]float64, n),
+		rank:      make([]int32, n),
+		slotLo:    make([]int32, n),
+		slots:     make([][]int32, n),
+	}
+	for i := range w.order {
+		w.order[i] = i
 	}
 	w.Refresh()
 	return w, nil
@@ -154,30 +178,21 @@ func (w *World) Refresh() {
 		w.speed[i] = v.V
 	}
 
-	// Sort indices by x for the blocker prune.
-	order := make([]int, w.n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return w.pos[order[a]].X < w.pos[order[b]].X })
-	xs := make([]float64, w.n)
+	// Re-sort the cached x-order permutation for the blocker prune. The
+	// previous tick's order is nearly sorted, so the insertion sort is O(n)
+	// amortized and allocation-free.
+	order, xs := w.order, w.xs
+	w.sortOrderByX()
 	for k, i := range order {
 		xs[k] = w.pos[i].X
+		w.rank[i] = int32(k)
 	}
 
 	for i := range w.links {
 		w.links[i] = w.links[i][:0]
 		w.neighbors[i] = w.neighbors[i][:0]
 	}
-	for i := range w.idx {
-		w.idx[i] = -1
-	}
 
-	// Per-vehicle half extents (cars vs trucks).
-	if len(w.halfLen) != w.n {
-		w.halfLen = make([]float64, w.n)
-		w.halfWid = make([]float64, w.n)
-	}
 	maxLen := 0.0
 	for i, v := range vehicles {
 		l, wd := rcfg.Dimensions(v)
@@ -205,15 +220,56 @@ func (w *World) Refresh() {
 			gain := w.model.PathGainLin(d, blockers) * w.shadowFactor(a, b)
 			bAB := w.pos[a].BearingTo(w.pos[b])
 			bBA := geom.NormalizeBearing(bAB + geom.Bearing(math.Pi))
-			w.idx[a*w.n+b] = int32(len(w.links[a]))
 			w.links[a] = append(w.links[a], Link{J: b, Dist: d, Bearing: bAB, Blockers: blockers, PathGainLin: gain})
-			w.idx[b*w.n+a] = int32(len(w.links[b]))
 			w.links[b] = append(w.links[b], Link{J: a, Dist: d, Bearing: bBA, Blockers: blockers, PathGainLin: gain})
 			if blockers == 0 && d <= w.cfg.CommRange {
 				w.neighbors[a] = append(w.neighbors[a], b)
 				w.neighbors[b] = append(w.neighbors[b], a)
 			}
 		}
+	}
+
+	// Rebuild the per-vehicle rank-window slot tables. The sweep appended
+	// each vehicle's links in ascending partner-rank order, so the first and
+	// last entries bound the band of x-ranks its partners occupy.
+	for i, ls := range w.links {
+		if len(ls) == 0 {
+			w.slotLo[i] = 0
+			w.slots[i] = w.slots[i][:0]
+			continue
+		}
+		lo := w.rank[ls[0].J]
+		width := int(w.rank[ls[len(ls)-1].J]-lo) + 1
+		s := w.slots[i]
+		if cap(s) < width {
+			s = make([]int32, width)
+		} else {
+			s = s[:width]
+		}
+		for k := range s {
+			s[k] = -1
+		}
+		for k, l := range ls {
+			s[w.rank[l.J]-lo] = int32(k)
+		}
+		w.slotLo[i] = lo
+		w.slots[i] = s
+	}
+}
+
+// sortOrderByX insertion-sorts the cached vehicle permutation by x
+// coordinate. The sort is stable, so ties keep vehicle-index order.
+func (w *World) sortOrderByX() {
+	order := w.order
+	for i := 1; i < len(order); i++ {
+		v := order[i]
+		x := w.pos[v].X
+		j := i - 1
+		for j >= 0 && w.pos[order[j]].X > x {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = v
 	}
 }
 
@@ -265,9 +321,16 @@ func (w *World) countBlockers(a, b int, order []int, xs []float64, maxLen float6
 }
 
 // Link returns the pair-table entry from i toward j, if within interference
-// range.
+// range. Vehicle i's partners occupy a contiguous band of x-ranks, so the
+// lookup is one O(1) probe of i's rank-window slot table — as fast as the
+// dense O(n²) pair matrix it replaced, at O(links) memory.
 func (w *World) Link(i, j int) (Link, bool) {
-	k := w.idx[i*w.n+j]
+	r := w.rank[j] - w.slotLo[i]
+	s := w.slots[i]
+	if uint(r) >= uint(len(s)) {
+		return Link{}, false
+	}
+	k := s[r]
 	if k < 0 {
 		return Link{}, false
 	}
