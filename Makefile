@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench experiments examples clean
+.PHONY: all build vet test test-short race bench experiments examples faults fuzz-smoke clean
 
 all: build vet test
 
@@ -29,6 +29,15 @@ bench:
 # Regenerate the paper's full evaluation (minutes; see -trials).
 experiments:
 	$(GO) run ./cmd/mmv2v-experiments -fig all
+
+# Graceful-degradation fault sweep at a small trial count (minutes).
+faults:
+	$(GO) run ./cmd/mmv2v-experiments -fig faults -trials 1
+
+# Short fuzzing pass over the geometry and channel kernels (mirrors CI).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzSegmentBlocked -fuzztime=10s ./internal/geom/
+	$(GO) test -run='^$$' -fuzz=FuzzSINR -fuzztime=10s ./internal/channel/
 
 examples:
 	$(GO) run ./examples/quickstart

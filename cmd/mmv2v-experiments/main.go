@@ -36,13 +36,17 @@ func main() {
 
 func run(w io.Writer) error {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, t2, ablation, trucks, warmup, all")
-		trials  = flag.Int("trials", 0, "trials per data point (0 = per-figure default)")
-		seed    = flag.Uint64("seed", 1, "experiment seed")
-		format  = flag.String("format", "table", "output format: table or csv")
-		workers = flag.Int("workers", 0, "max concurrent trial simulations (0 = all CPU cores); results are identical for any value")
+		fig      = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, t2, ablation, trucks, warmup, faults, all")
+		trials   = flag.Int("trials", 0, "trials per data point (0 = per-figure default)")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		format   = flag.String("format", "table", "output format: table or csv")
+		workers  = flag.Int("workers", 0, "max concurrent trial simulations (0 = all CPU cores); results are identical for any value")
+		faultRun = flag.Bool("faults", false, "shorthand for -fig faults: the graceful-degradation fault sweep")
 	)
 	flag.Parse()
+	if *faultRun {
+		*fig = "faults"
+	}
 	if *format != "table" && *format != "csv" {
 		return fmt.Errorf("unknown format %q (want table or csv)", *format)
 	}
@@ -173,6 +177,24 @@ func run(w io.Writer) error {
 			fmt.Fprintln(w)
 			return nil
 		},
+		"faults": func() error {
+			opts := mmv2v.DefaultFaultsOptions()
+			opts.Seed = *seed
+			opts.Workers = *workers
+			if *trials > 0 {
+				opts.Trials = *trials
+			}
+			res, err := mmv2v.RunFaultSweep(opts)
+			if err != nil {
+				return err
+			}
+			if csvMode {
+				return res.WriteCSV(w)
+			}
+			res.WriteTable(w)
+			fmt.Fprintln(w)
+			return nil
+		},
 		"ablation": func() error {
 			opts := mmv2v.DefaultAblationOptions()
 			opts.Seed = *seed
@@ -193,10 +215,12 @@ func run(w io.Writer) error {
 		},
 	}
 
+	// "all" keeps its pre-fault-layer composition so full-suite output
+	// stays byte-identical; run the fault sweep with -fig faults/-faults.
 	order := []string{"t2", "6", "7", "8", "9", "ablation", "trucks", "warmup"}
 	if *fig != "all" {
 		if _, ok := runners[*fig]; !ok {
-			return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, t2, ablation, trucks, warmup, all)", *fig)
+			return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, t2, ablation, trucks, warmup, faults, all)", *fig)
 		}
 		order = []string{*fig}
 	}

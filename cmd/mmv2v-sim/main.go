@@ -3,8 +3,15 @@
 // Usage:
 //
 //	mmv2v-sim -density 15 -protocol mmv2v -trials 3 -seconds 1
+//	mmv2v-sim -density 20 -faults 0.5            # stress at half intensity
 //
 // Protocols: mmv2v (default), rop, ad, oracle, all.
+//
+// -faults scales the standard fault profile (control loss, blockage bursts,
+// radio churn, slot jitter; see internal/faults) by the given intensity;
+// 0 (the default) is a clean channel. Trials are crash-isolated: a trial
+// that panics is retried -retry times and then reported on stderr as a
+// TrialError with a repro command, while the remaining trials still pool.
 package main
 
 import (
@@ -25,18 +32,20 @@ func main() {
 
 func run() error {
 	var (
-		density  = flag.Float64("density", 15, "traffic density in vehicles/lane/km (paper: 15-30)")
-		protocol = flag.String("protocol", "mmv2v", "protocol: mmv2v, rop, ad, oracle, all")
-		seed     = flag.Uint64("seed", 1, "scenario seed")
-		trials   = flag.Int("trials", 1, "independent trials to pool")
-		seconds  = flag.Float64("seconds", 1, "measurement window length (s)")
-		windows  = flag.Int("windows", 1, "number of consecutive windows")
-		demand   = flag.Float64("demand", 200e6, "HRIE task demand per neighbor per window (bits)")
-		k        = flag.Int("K", 3, "mmV2V discovery rounds")
-		m        = flag.Int("M", 40, "mmV2V negotiation slots")
-		c        = flag.Int("C", 7, "mmV2V CNS hash constant")
-		jsonOut  = flag.Bool("json", false, "emit per-protocol summaries as JSON instead of a table")
-		traceOut = flag.String("trace", "", "write protocol events as JSON Lines to this file")
+		density   = flag.Float64("density", 15, "traffic density in vehicles/lane/km (paper: 15-30)")
+		protocol  = flag.String("protocol", "mmv2v", "protocol: mmv2v, rop, ad, oracle, all")
+		seed      = flag.Uint64("seed", 1, "scenario seed")
+		trials    = flag.Int("trials", 1, "independent trials to pool")
+		seconds   = flag.Float64("seconds", 1, "measurement window length (s)")
+		windows   = flag.Int("windows", 1, "number of consecutive windows")
+		demand    = flag.Float64("demand", 200e6, "HRIE task demand per neighbor per window (bits)")
+		k         = flag.Int("K", 3, "mmV2V discovery rounds")
+		m         = flag.Int("M", 40, "mmV2V negotiation slots")
+		c         = flag.Int("C", 7, "mmV2V CNS hash constant")
+		jsonOut   = flag.Bool("json", false, "emit per-protocol summaries as JSON instead of a table")
+		traceOut  = flag.String("trace", "", "write protocol events as JSON Lines to this file")
+		intensity = flag.Float64("faults", 0, "fault-injection intensity: scales the standard stress profile (0 = clean channel, 1 = full profile)")
+		retry     = flag.Int("retry", 0, "re-run a failed trial up to this many times before recording it as lost")
 	)
 	flag.Parse()
 
@@ -44,6 +53,14 @@ func run() error {
 	cfg.WindowSec = *seconds
 	cfg.Windows = *windows
 	cfg.DemandBits = *demand
+	cfg.Retry = *retry
+	if *intensity < 0 {
+		return fmt.Errorf("negative fault intensity %v", *intensity)
+	}
+	if *intensity > 0 {
+		profile := mmv2v.DefaultFaultConfig().Scale(*intensity)
+		cfg.Faults = &profile
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -96,6 +113,13 @@ func run() error {
 		res, err := mmv2v.RunTrials(cfg, factories[name], *trials)
 		if err != nil {
 			return err
+		}
+		for _, te := range res.Failures {
+			fmt.Fprintf(os.Stderr, "mmv2v-sim: %v\n", te)
+		}
+		if res.Retried > 0 || len(res.Failures) > 0 {
+			fmt.Fprintf(os.Stderr, "mmv2v-sim: %s: %d/%d trial(s) pooled (%d retried, %d lost)\n",
+				res.Protocol, res.Trials, *trials, res.Retried, len(res.Failures))
 		}
 		if *jsonOut {
 			rows = append(rows, jsonRow{

@@ -102,7 +102,8 @@ type AD struct {
 // NewAD builds the 802.11ad baseline.
 func NewAD(env *sim.Env, cfg ADParams) *AD {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("baseline: invalid 802.11ad params for scenario seed %#x (%d vehicles): %v",
+			env.Seed, env.N(), err))
 	}
 	n := env.N()
 	a := &AD{

@@ -128,7 +128,8 @@ type ROP struct {
 // NewROP builds the ROP baseline.
 func NewROP(env *sim.Env, cfg ROPParams) *ROP {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("baseline: invalid ROP params for scenario seed %#x (%d vehicles): %v",
+			env.Seed, env.N(), err))
 	}
 	n := env.N()
 	r := &ROP{

@@ -1,0 +1,44 @@
+package channel
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSINR pins two properties of Eq. 3 evaluation that the interference
+// bookkeeping in the medium relies on: the SINR of a positive desired
+// signal is always finite, and removing an interferer never decreases it.
+// Both hold exactly in floating point — non-negative addition is monotone,
+// division by a larger positive denominator is smaller, and log10 is
+// monotone — so the comparisons below use no tolerance.
+func FuzzSINR(f *testing.F) {
+	m, err := NewModel(DefaultParams())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(1e-6, 1e-7, 1e-8)
+	f.Add(42.0, 0.0, 0.0)
+	f.Add(1e-30, 5.0, 1e-3)
+	f.Fuzz(func(t *testing.T, desiredMw, intf1Mw, intf2Mw float64) {
+		for _, v := range []float64{desiredMw, intf1Mw, intf2Mw} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1e12 {
+				t.Skip()
+			}
+		}
+		if desiredMw <= 0 {
+			t.Skip()
+		}
+		full := m.SINR(desiredMw, intf1Mw+intf2Mw)
+		if math.IsNaN(full) || math.IsInf(full, 0) {
+			t.Fatalf("SINR(%v, %v) = %v, want finite", desiredMw, intf1Mw+intf2Mw, full)
+		}
+		one := m.SINR(desiredMw, intf1Mw)
+		clean := m.SINR(desiredMw, 0)
+		if one < full {
+			t.Fatalf("removing interferer decreased SINR: %v -> %v", full, one)
+		}
+		if clean < one {
+			t.Fatalf("removing last interferer decreased SINR: %v -> %v", one, clean)
+		}
+	})
+}

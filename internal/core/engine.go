@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"mmv2v/internal/des"
@@ -73,7 +74,8 @@ type negotiationState struct {
 // params (programmer error); use Params.Validate to pre-check user input.
 func New(env *sim.Env, cfg Params) *Protocol {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("core: invalid mmV2V params for scenario seed %#x (%d vehicles): %v",
+			env.Seed, env.N(), err))
 	}
 	n := env.N()
 	p := &Protocol{

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"mmv2v/internal/sim"
@@ -73,7 +74,8 @@ type Oracle struct {
 // NewOracle builds the oracle protocol.
 func NewOracle(env *sim.Env, cfg Params) *Oracle {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("core: invalid oracle params for scenario seed %#x (%d vehicles): %v",
+			env.Seed, env.N(), err))
 	}
 	o := &Oracle{env: env, cfg: cfg}
 	env.OnRefresh(o.onRefresh)

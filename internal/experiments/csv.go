@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/csv"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -109,6 +110,28 @@ func (r *Theorem2Result) WriteCSV(w io.Writer) error {
 			}
 		}
 		rows = append(rows, []string{f(c.P), strconv.Itoa(c.K), f(c.Analytic), f(c.Empirical), inSim})
+	}
+	return writeAll(cw, rows)
+}
+
+// WriteCSV emits intensity, protocol, ocr, atp, dtp, latency_sec, trials,
+// retried, failures rows.
+func (r *FaultsResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"intensity", "protocol", "ocr", "atp", "dtp",
+		"first_exchange_sec", "trials", "retried", "failures"}}
+	for _, row := range r.Rows {
+		for _, c := range row.Cells {
+			lat := ""
+			if !math.IsNaN(c.MeanLatencySec) {
+				lat = f(c.MeanLatencySec)
+			}
+			rows = append(rows, []string{
+				f(row.Intensity), c.Protocol,
+				f(c.Summary.MeanOCR), f(c.Summary.MeanATP), f(c.Summary.MeanDTP),
+				lat, strconv.Itoa(c.Trials), strconv.Itoa(c.Retried), strconv.Itoa(c.Failures),
+			})
+		}
 	}
 	return writeAll(cw, rows)
 }

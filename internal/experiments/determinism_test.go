@@ -3,6 +3,8 @@ package experiments
 import (
 	"bytes"
 	"testing"
+
+	"mmv2v/internal/faults"
 )
 
 // TestFig9TableByteIdenticalAcrossWorkers pins the parallel-merge invariant
@@ -29,6 +31,43 @@ func TestFig9TableByteIdenticalAcrossWorkers(t *testing.T) {
 	parallel := render(8)
 	if !bytes.Equal(serial, parallel) {
 		t.Errorf("Fig. 9 output differs between Workers=1 and Workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestFaultSweepByteIdenticalAcrossWorkers extends the invariant to the
+// fault-injection layer: every fault decision is a pure function of
+// (seed, entity, time), so the rendered fault-sweep table and CSV must be
+// byte-identical whether trials run on one worker or eight.
+func TestFaultSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment determinism test")
+	}
+	render := func(workers int) []byte {
+		opts := FaultsOptions{
+			Seed:        1,
+			Trials:      2,
+			DensityVPL:  12,
+			WindowSec:   0.2,
+			Intensities: []float64{0, 1},
+			Profile:     faults.DefaultConfig(),
+			Workers:     workers,
+		}
+		res, err := FaultSweep(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		res.WriteTable(&buf)
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("fault sweep output differs between Workers=1 and Workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			serial, parallel)
 	}
 }

@@ -1,0 +1,119 @@
+// Package faults is the deterministic fault-injection layer: a seeded model
+// of the hostile dynamics the paper's clean scenario generator leaves out —
+// lossy control exchanges, transient pedestrian/weather blockage bursts,
+// silent radio failures and slot-timing jitter.
+//
+// Every fault decision is a pure function of (fault seed, entity identity,
+// time), derived with the same SplitMix64 hashing discipline as
+// internal/xrand: vehicle 7's radio outage schedule or pair (3, 9)'s
+// blockage burst at tick 41 is byte-identical no matter how many workers run
+// trials, when a link is first queried, or in which order queries arrive.
+// Protocols never see this package — an Injector plugs in behind the
+// medium's FaultModel hook and the world's LinkFault hook, so mmV2V, ROP and
+// 802.11ad are stressed identically and unknowingly.
+package faults
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config parameterizes the four fault processes. The zero value disables
+// everything and is an exact no-op (the simulator does not even construct an
+// Injector for it).
+type Config struct {
+	// ControlLossP is the probability that an otherwise-decodable control
+	// frame (SSW, negotiation, beacon) is independently lost at each
+	// receiver — decoder/FCS failure beyond what Eq. 3 SINR explains.
+	ControlLossP float64
+	// BlockageRatePerSec is the per-pair rate (1/s) of entering a transient
+	// blockage burst — a pedestrian, cyclist or rain fade crossing the link.
+	// Bursts follow a Gilbert–Elliott on/off chain sampled every 5 ms.
+	BlockageRatePerSec float64
+	// BlockageMeanSec is the mean burst duration in seconds.
+	BlockageMeanSec float64
+	// BlockageExtraLossDB is the extra attenuation applied to a pair's path
+	// gain while the pair is inside a burst.
+	BlockageExtraLossDB float64
+	// RadioMeanUpSec is a vehicle radio's mean up-time before it silently
+	// fails (exponential); 0 disables radio churn.
+	RadioMeanUpSec float64
+	// RadioMeanDownSec is the mean outage duration before the radio
+	// recovers (exponential). While down, the vehicle neither transmits,
+	// receives nor interferes.
+	RadioMeanDownSec float64
+	// SlotJitterMax delays every control transmission by an independent
+	// uniform [0, SlotJitterMax) offset, modeling imperfect slot clocks;
+	// late frames can spill past a receiver's re-aim and become undecodable.
+	SlotJitterMax time.Duration
+}
+
+// DefaultConfig returns the intensity-1 stress profile used by the fault
+// sweep: 20 % control loss, ~9 % per-pair blockage occupancy (a 200 ms
+// burst every ~2 s) at 25 dB extra loss, a radio outage of ~250 ms every
+// ~5 s per vehicle, and up to 2 µs of slot jitter (an eighth of the 16 µs
+// sector slot).
+func DefaultConfig() Config {
+	return Config{
+		ControlLossP:        0.2,
+		BlockageRatePerSec:  0.5,
+		BlockageMeanSec:     0.2,
+		BlockageExtraLossDB: 25,
+		RadioMeanUpSec:      5,
+		RadioMeanDownSec:    0.25,
+		SlotJitterMax:       2 * time.Microsecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.ControlLossP < 0 || c.ControlLossP > 1:
+		return fmt.Errorf("faults: control loss probability %v outside [0,1]", c.ControlLossP)
+	case c.BlockageRatePerSec < 0:
+		return fmt.Errorf("faults: negative blockage rate %v", c.BlockageRatePerSec)
+	case c.BlockageRatePerSec > 0 && c.BlockageMeanSec <= 0:
+		return fmt.Errorf("faults: blockage rate %v/s needs a positive mean burst duration", c.BlockageRatePerSec)
+	case c.BlockageExtraLossDB < 0:
+		return fmt.Errorf("faults: negative blockage loss %v dB", c.BlockageExtraLossDB)
+	case c.RadioMeanUpSec < 0:
+		return fmt.Errorf("faults: negative radio up-time %v", c.RadioMeanUpSec)
+	case c.RadioMeanUpSec > 0 && c.RadioMeanDownSec <= 0:
+		return fmt.Errorf("faults: radio churn needs a positive mean outage duration (got %v)", c.RadioMeanDownSec)
+	case c.SlotJitterMax < 0:
+		return fmt.Errorf("faults: negative slot jitter %v", c.SlotJitterMax)
+	}
+	return nil
+}
+
+// Enabled reports whether any fault process is active. A disabled config is
+// an exact no-op: the simulator skips Injector construction entirely, so
+// outputs are byte-identical to a build without this package.
+func (c Config) Enabled() bool {
+	return c.ControlLossP > 0 ||
+		(c.BlockageRatePerSec > 0 && c.BlockageExtraLossDB > 0) ||
+		c.RadioMeanUpSec > 0 ||
+		c.SlotJitterMax > 0
+}
+
+// Scale returns the profile at a fault intensity in [0, ∞): event
+// frequencies (control loss, burst arrivals, radio failures, jitter span)
+// scale linearly with intensity while per-event severity (burst length and
+// depth, outage length) is preserved. Scale(0) is the zero Config —
+// disabled — and Scale(1) is c itself.
+func (c Config) Scale(intensity float64) Config {
+	if intensity <= 0 {
+		return Config{}
+	}
+	if intensity == 1 {
+		return c
+	}
+	out := c
+	out.ControlLossP = min(1, c.ControlLossP*intensity)
+	out.BlockageRatePerSec = c.BlockageRatePerSec * intensity
+	if c.RadioMeanUpSec > 0 {
+		out.RadioMeanUpSec = c.RadioMeanUpSec / intensity
+	}
+	out.SlotJitterMax = time.Duration(float64(c.SlotJitterMax) * intensity)
+	return out
+}

@@ -43,6 +43,28 @@ func FuzzSectorsFromBearing(f *testing.F) {
 	})
 }
 
+// FuzzSegmentBlocked fuzzes the whole LOS-blockage decision the world layer
+// makes (world.Refresh: does the segment between two vehicles cross a
+// blocker's body rectangle?) — arbitrary endpoints AND arbitrary blocker
+// pose — asserting it never panics and is symmetric in the endpoints.
+func FuzzSegmentBlocked(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 10.0, 5.0, 5.0, 0.7, 2.3, 0.9)
+	f.Add(-3.0, 4.0, -3.0, 4.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(1.0, 1.0, 2.0, 2.0, 1.5, 1.5, 6.2, 100.0, 100.0)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy, heading, halfLen, halfWid float64) {
+		for _, v := range []float64{ax, ay, bx, by, cx, cy, heading, halfLen, halfWid} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				t.Skip()
+			}
+		}
+		r := Rect{Center: Vec{cx, cy}, Heading: Bearing(heading), HalfLen: halfLen, HalfWid: halfWid}
+		a, b := Vec{ax, ay}, Vec{bx, by}
+		if SegmentIntersectsRect(a, b, r) != SegmentIntersectsRect(b, a, r) {
+			t.Fatalf("blockage not symmetric in endpoints: a=%v b=%v rect=%+v", a, b, r)
+		}
+	})
+}
+
 func FuzzSegmentIntersectsRectSymmetry(f *testing.F) {
 	f.Add(0.0, 0.0, 10.0, 10.0)
 	f.Fuzz(func(t *testing.T, ax, ay, bx, by float64) {

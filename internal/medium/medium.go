@@ -70,6 +70,22 @@ type listener struct {
 	active  bool
 }
 
+// FaultModel is the medium's fault-injection hook (see internal/faults).
+// When installed, the medium consults it on every transmission and
+// delivery; protocols never see it, so any scheme running on this medium is
+// stressed without code changes. A nil model is the clean channel.
+type FaultModel interface {
+	// RadioUp reports whether vehicle i's radio is alive at time `at`. A
+	// down radio neither transmits, receives nor interferes.
+	RadioUp(i int, at des.Time) bool
+	// DropControl reports whether the control frame from → to resolving at
+	// time `at` is lost despite a decodable SINR.
+	DropControl(from, to int, at des.Time) bool
+	// TxDelay returns the slot-timing jitter added to a control
+	// transmission by vehicle `from` at time `at`.
+	TxDelay(from int, at des.Time) time.Duration
+}
+
 // Medium is the shared channel. Create with New; not safe for concurrent
 // use (the DES is single-threaded).
 type Medium struct {
@@ -83,12 +99,24 @@ type Medium struct {
 	// resolveAt de-duplicates end-of-frame resolution events.
 	resolveAt map[des.Time]bool
 
+	// faults, when non-nil, injects radio churn, control-frame loss and
+	// slot jitter into every transmission and delivery.
+	faults FaultModel
+
 	// Delivered counts decoded control frames (diagnostics).
 	Delivered uint64
 	// Lost counts control frames that at least one aligned listener failed
 	// to decode due to SINR (diagnostics; deaf listeners don't count).
 	Lost uint64
+	// FaultLost counts decodable control frames killed by the fault model's
+	// loss process, and FaultMutedTx counts transmissions suppressed because
+	// the transmitter's radio was down (diagnostics).
+	FaultLost    uint64
+	FaultMutedTx uint64
 }
+
+// SetFaults installs a fault model; nil restores the clean channel.
+func (m *Medium) SetFaults(f FaultModel) { m.faults = f }
 
 // New builds a Medium over a world and simulator.
 func New(sim *des.Simulator, w *world.World) *Medium {
@@ -121,18 +149,27 @@ func (m *Medium) StopListen(i int) {
 func (m *Medium) Listening(i int) bool { return m.listeners[i].active }
 
 // Transmit puts a control frame on the air from vehicle `from` for the given
-// duration. Reception resolves when the frame ends.
+// duration. Reception resolves when the frame ends. Under a fault model the
+// frame may start late (slot jitter) or not at all (radio down).
 func (m *Medium) Transmit(from int, beam phy.Beam, dur time.Duration, payload any) {
 	if dur <= 0 {
 		panic(fmt.Sprintf("medium: non-positive frame duration %v", dur))
 	}
 	now := m.sim.Now()
+	start := now
+	if m.faults != nil {
+		if !m.faults.RadioUp(from, now) {
+			m.FaultMutedTx++
+			return
+		}
+		start = now.Add(m.faults.TxDelay(from, now))
+	}
 	tx := &transmission{
 		id:      m.nextID,
 		from:    from,
 		beam:    beam,
-		start:   now,
-		end:     now.Add(dur),
+		start:   start,
+		end:     start.Add(dur),
 		payload: payload,
 	}
 	m.nextID++
@@ -215,9 +252,15 @@ func (m *Medium) resolve() {
 func (m *Medium) deliverGroup(group []*transmission) {
 	noise := m.w.Channel().NoiseMw()
 	n := m.w.NumVehicles()
+	now := m.sim.Now()
 	for j := 0; j < n; j++ {
 		l := &m.listeners[j]
 		if !l.active {
+			continue
+		}
+		// A listener whose radio is down hears nothing (and, not being
+		// aligned in any meaningful sense, does not count toward Lost).
+		if m.faults != nil && !m.faults.RadioUp(j, now) {
 			continue
 		}
 		// Incident power from every signal overlapping the group window,
@@ -231,11 +274,15 @@ func (m *Medium) deliverGroup(group []*transmission) {
 		total := 0.0
 		selfBusy := false
 		for _, tx := range m.active {
-			if !overlaps(tx.start, tx.end, groupStart, m.sim.Now()) {
+			if !overlaps(tx.start, tx.end, groupStart, now) {
 				continue
 			}
 			if tx.from == j {
 				selfBusy = true
+				continue
+			}
+			// A transmitter whose radio died mid-frame radiates nothing.
+			if m.faults != nil && !m.faults.RadioUp(tx.from, now) {
 				continue
 			}
 			total += m.w.RxPowerMw(tx.from, j, tx.beam, l.beam)
@@ -251,12 +298,20 @@ func (m *Medium) deliverGroup(group []*transmission) {
 			if l.since > g.start {
 				continue
 			}
+			// A frame whose sender's radio died mid-air is gone.
+			if m.faults != nil && !m.faults.RadioUp(g.from, now) {
+				continue
+			}
 			desired := m.w.RxPowerMw(g.from, j, g.beam, l.beam)
 			if desired == 0 {
 				continue
 			}
 			sinr := channel.DB(desired / (noise + (total - desired)))
 			if phy.ControlDecodable(sinr) {
+				if m.faults != nil && m.faults.DropControl(g.from, j, now) {
+					m.FaultLost++
+					continue
+				}
 				m.Delivered++
 				// Handler may re-aim or stop the listener; re-check.
 				h := l.handler
@@ -285,11 +340,14 @@ func (m *Medium) deliverGroup(group []*transmission) {
 // count as interference (rx cannot receive while transmitting — callers
 // handle TDD — and tx's own stream is the desired signal).
 func (m *Medium) SINRNow(tx, rx int, txBeam, rxBeam phy.Beam) float64 {
+	now := m.sim.Now()
+	if m.faults != nil && (!m.faults.RadioUp(tx, now) || !m.faults.RadioUp(rx, now)) {
+		return -300
+	}
 	desired := m.w.RxPowerMw(tx, rx, txBeam, rxBeam)
 	if desired == 0 {
 		return -300
 	}
-	now := m.sim.Now()
 	interference := 0.0
 	for _, t := range m.active {
 		if t.from == tx || t.from == rx {
@@ -297,6 +355,9 @@ func (m *Medium) SINRNow(tx, rx int, txBeam, rxBeam phy.Beam) float64 {
 		}
 		if t.end <= now {
 			continue // retired frame lingering in its grace window
+		}
+		if m.faults != nil && !m.faults.RadioUp(t.from, now) {
+			continue
 		}
 		interference += m.w.RxPowerMw(t.from, rx, t.beam, rxBeam)
 	}

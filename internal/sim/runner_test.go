@@ -3,11 +3,13 @@ package sim_test
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"mmv2v/internal/sim"
+	"mmv2v/internal/xrand"
 )
 
 func TestRunnerDefaultsToGOMAXPROCS(t *testing.T) {
@@ -42,9 +44,9 @@ func TestRunnerDoBoundsConcurrency(t *testing.T) {
 	}
 }
 
-func TestRunnerDoReturnsLowestIndexError(t *testing.T) {
+func TestRunnerDoJoinsAllErrorsLowestFirst(t *testing.T) {
 	r := sim.NewRunner(4)
-	errA, errB := errors.New("job 2"), errors.New("job 5")
+	errA, errB := errors.New("job 2 failed"), errors.New("job 5 failed")
 	err := r.Do(8, func(i int) error {
 		switch i {
 		case 2:
@@ -54,8 +56,12 @@ func TestRunnerDoReturnsLowestIndexError(t *testing.T) {
 		}
 		return nil
 	})
-	if err != errA {
-		t.Errorf("err = %v, want lowest-index error %v", err, errA)
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("err = %v, want both job errors wrapped", err)
+	}
+	msg := err.Error()
+	if ia, ib := strings.Index(msg, errA.Error()), strings.Index(msg, errB.Error()); ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("err = %q, want lowest-index error first", msg)
 	}
 }
 
@@ -76,8 +82,8 @@ func TestGatherRunsAllJobs(t *testing.T) {
 			return want
 		}
 		return nil
-	}); err != want {
-		t.Errorf("err = %v, want %v", err, want)
+	}); !errors.Is(err, want) {
+		t.Errorf("err = %v, want wrapped %v", err, want)
 	}
 }
 
@@ -103,6 +109,103 @@ func TestRunTrialsDeterministicAcrossWorkers(t *testing.T) {
 		if !reflect.DeepEqual(results[0], results[i]) {
 			t.Errorf("Workers=1 and Workers=%d results differ", []int{1, 4, 8}[i])
 		}
+	}
+}
+
+// panicOnSeed wraps a factory so the trial whose derived scenario seed
+// matches badSeed panics — deterministically, regardless of worker count.
+func panicOnSeed(base sim.Factory, badSeed uint64) sim.Factory {
+	return func(env *sim.Env) sim.Protocol {
+		if env.Seed == badSeed {
+			panic("deliberate test panic")
+		}
+		return base(env)
+	}
+}
+
+// TestRunTrialsRecoversPanicIntoTrialError pins the crash-isolation
+// contract: a panicking trial becomes a structured TrialError carrying
+// scenario, trial index, derived seed and stack, while the remaining
+// trials complete and merge.
+func TestRunTrialsRecoversPanicIntoTrialError(t *testing.T) {
+	cfg := sim.DefaultConfig(10, 5)
+	cfg.WindowSec = 0.1
+	cfg.Workers = 4
+	const trials = 4
+	badSeed := xrand.Mix(cfg.Seed, 1)
+	res, err := sim.RunTrials(cfg, panicOnSeed(greedyFactory(), badSeed), trials)
+	if err != nil {
+		t.Fatalf("partial failure must not fail the run: %v", err)
+	}
+	if res.Trials != trials-1 {
+		t.Errorf("Trials = %d, want %d survivors", res.Trials, trials-1)
+	}
+	if len(res.Failures) != 1 {
+		t.Fatalf("Failures = %d, want 1", len(res.Failures))
+	}
+	f := res.Failures[0]
+	if f.Trial != 1 || f.Seed != badSeed || f.BaseSeed != cfg.Seed {
+		t.Errorf("TrialError = trial %d seed %#x base %#x, want trial 1 seed %#x base %#x",
+			f.Trial, f.Seed, f.BaseSeed, badSeed, cfg.Seed)
+	}
+	if !strings.Contains(f.Scenario, "density=10") {
+		t.Errorf("Scenario = %q, want density context", f.Scenario)
+	}
+	if !strings.Contains(f.Stack, "goroutine") {
+		t.Errorf("Stack not captured: %q", f.Stack)
+	}
+	var pe *sim.PanicError
+	if !errors.As(f, &pe) || pe.Value != "deliberate test panic" {
+		t.Errorf("Unwrap chain lost the panic: %v", f.Err)
+	}
+	if repro := f.Repro(); !strings.Contains(repro, "-seed 5") || !strings.Contains(repro, "-trials 2") {
+		t.Errorf("Repro = %q, want -seed 5 -trials 2", repro)
+	}
+}
+
+// TestRunTrialsRetryRecoversFlakyTrial checks the bounded retry policy: a
+// trial that fails on its first attempt only is salvaged and counted.
+func TestRunTrialsRetryRecoversFlakyTrial(t *testing.T) {
+	cfg := sim.DefaultConfig(10, 5)
+	cfg.WindowSec = 0.1
+	cfg.Workers = 2
+	cfg.Retry = 1
+	badSeed := xrand.Mix(cfg.Seed, 2)
+	var tripped atomic.Bool
+	factory := func(env *sim.Env) sim.Protocol {
+		if env.Seed == badSeed && tripped.CompareAndSwap(false, true) {
+			panic("flaky first attempt")
+		}
+		return greedyFactory()(env)
+	}
+	res, err := sim.RunTrials(cfg, factory, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 3 || res.Retried != 1 || len(res.Failures) != 0 {
+		t.Errorf("Trials/Retried/Failures = %d/%d/%d, want 3/1/0",
+			res.Trials, res.Retried, len(res.Failures))
+	}
+}
+
+// TestRunTrialsAllFailedReturnsJoinedError: when every trial fails, the
+// run fails with the join of all TrialErrors, lowest trial first.
+func TestRunTrialsAllFailedReturnsJoinedError(t *testing.T) {
+	cfg := sim.DefaultConfig(10, 5)
+	cfg.WindowSec = 0.1
+	cfg.Workers = 4
+	factory := func(*sim.Env) sim.Protocol { panic("always down") }
+	res, err := sim.RunTrials(cfg, sim.Factory(factory), 3)
+	if res != nil || err == nil {
+		t.Fatalf("res=%v err=%v, want nil result and joined error", res, err)
+	}
+	var te *sim.TrialError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want TrialError in chain", err)
+	}
+	msg := err.Error()
+	if i0, i2 := strings.Index(msg, "trial 0"), strings.Index(msg, "trial 2"); i0 < 0 || i2 < 0 || i0 > i2 {
+		t.Errorf("joined error %q not in trial order", msg)
 	}
 }
 

@@ -11,9 +11,11 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"mmv2v/internal/des"
+	"mmv2v/internal/faults"
 	"mmv2v/internal/medium"
 	"mmv2v/internal/metrics"
 	"mmv2v/internal/phy"
@@ -50,6 +52,15 @@ type Config struct {
 	// output is bit-identical for any worker count. Runs with a Trace
 	// recorder fall back to one worker so the event stream stays ordered.
 	Workers int
+	// Faults, when non-nil and enabled, injects deterministic channel and
+	// radio faults — control-frame loss, transient blockage bursts, radio
+	// churn, slot jitter — seeded from Seed (see internal/faults). Nil, or
+	// a config with every intensity zero, is an exact no-op: outputs are
+	// byte-identical to a run without fault injection.
+	Faults *faults.Config
+	// Retry re-runs a failed (errored or panicking) trial up to this many
+	// times before RunTrials records it as a TrialError. Default 0.
+	Retry int
 	// Trace, when non-nil, receives structured protocol events
 	// (discoveries, matches, streams, completions). Nil disables tracing
 	// at zero cost.
@@ -93,6 +104,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: negative warmup %v", c.WarmupSec)
 	case c.Workers < 0:
 		return fmt.Errorf("sim: negative worker count %d", c.Workers)
+	case c.Retry < 0:
+		return fmt.Errorf("sim: negative retry budget %d", c.Retry)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -105,6 +123,12 @@ type Env struct {
 	Ledger *metrics.Ledger
 	Rand   *xrand.Source
 	Timing phy.Timing
+	// Seed is the scenario seed this environment was built from (for a
+	// pooled trial, the derived per-trial seed) — the one value needed to
+	// reproduce the run, carried here so error contexts can report it.
+	Seed uint64
+	// Faults is the active fault injector, nil on a clean channel.
+	Faults *faults.Injector
 	// DemandBits is the per-neighbor task volume of the current window.
 	DemandBits float64
 	// Trace receives protocol events; nil (the default) is a valid no-op.
@@ -157,6 +181,12 @@ type WindowResult struct {
 	Summary metrics.Summary
 	// AvgNeighbors is the mean LOS neighbor count at window start.
 	AvgNeighbors float64
+	// LatencySumSec and LatencyPairs accumulate the time from window start
+	// to each neighbor pair's first exchanged bit — the discovery + matching
+	// latency observable uniformly across protocols. Pairs that never
+	// exchanged anything are excluded.
+	LatencySumSec float64
+	LatencyPairs  int
 }
 
 // Result aggregates a full run.
@@ -169,8 +199,28 @@ type Result struct {
 	Summary metrics.Summary
 	// AvgNeighbors is the mean over windows.
 	AvgNeighbors float64
+	// LatencySumSec and LatencyPairs pool the window latency accumulators.
+	LatencySumSec float64
+	LatencyPairs  int
 	// Events is the number of DES events executed (diagnostics).
 	Events uint64
+	// Trials is the number of successful trials pooled into this result
+	// (1 for a single Run).
+	Trials int
+	// Retried counts trial re-executions performed under Config.Retry, and
+	// Failures lists trials abandoned after the retry budget (in trial
+	// order). Both are zero/nil for a single Run.
+	Retried  int
+	Failures []*TrialError
+}
+
+// MeanLatencySec returns the pooled mean time-to-first-exchange in seconds,
+// or NaN when no pair exchanged anything.
+func (r *Result) MeanLatencySec() float64 {
+	if r.LatencyPairs == 0 {
+		return math.NaN()
+	}
+	return r.LatencySumSec / float64(r.LatencyPairs)
 }
 
 // NewEnv builds the simulation environment of a scenario — warmed-up
@@ -205,16 +255,31 @@ func NewEnvWithWorld(cfg Config, w *world.World) (*Env, error) {
 		return nil, err
 	}
 	sim := des.New()
-	return &Env{
+	env := &Env{
 		Sim:        sim,
 		World:      w,
 		Medium:     medium.New(sim, w),
 		Ledger:     metrics.NewLedger(w.NumVehicles()),
 		Rand:       xrand.New(cfg.Seed).Child("protocol"),
 		Timing:     cfg.Timing,
+		Seed:       cfg.Seed,
 		DemandBits: cfg.DemandBits,
 		Trace:      cfg.Trace,
-	}, nil
+	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		// The injector draws from a dedicated stream family mixed from the
+		// scenario seed, so fault histories are reproducible from the seed
+		// and independent of every other random stream.
+		inj := faults.NewInjector(*cfg.Faults,
+			xrand.Mix(cfg.Seed, xrand.HashString("faults")), sim)
+		env.Faults = inj
+		w.SetLinkFault(inj)
+		env.Medium.SetFaults(inj)
+	}
+	return env, nil
 }
 
 // DriveFrames advances the environment by the given number of protocol
@@ -267,23 +332,47 @@ func RunOnEnv(cfg Config, env *Env, factory Factory) (*Result, error) {
 		env.Medium.Reset()
 		denominator := env.World.NeighborSnapshot()
 		avgN := env.World.AvgNeighborCount()
+		winStartSec := env.Sim.Now().Seconds()
 
 		env.DriveFrames(proto, win*framesPerWindow, framesPerWindow)
 
 		stats := metrics.Compute(denominator, env.Ledger, cfg.DemandBits)
+		latSum, latPairs := pairLatency(denominator, env.Ledger, winStartSec)
 		res.Windows = append(res.Windows, WindowResult{
-			Window:       win,
-			Stats:        stats,
-			Summary:      metrics.Summarize(stats),
-			AvgNeighbors: avgN,
+			Window:        win,
+			Stats:         stats,
+			Summary:       metrics.Summarize(stats),
+			AvgNeighbors:  avgN,
+			LatencySumSec: latSum,
+			LatencyPairs:  latPairs,
 		})
 		res.Stats = append(res.Stats, stats...)
 		res.AvgNeighbors += avgN
+		res.LatencySumSec += latSum
+		res.LatencyPairs += latPairs
 	}
 	res.Summary = metrics.Summarize(res.Stats)
 	res.AvgNeighbors /= float64(cfg.Windows)
 	res.Events = env.Sim.Executed()
+	res.Trials = 1
 	return res, nil
+}
+
+// pairLatency sums, over every neighbor pair with any recorded exchange,
+// the window-relative time of its first exchanged bit.
+func pairLatency(neighbors [][]int, l *metrics.Ledger, winStartSec float64) (sum float64, pairs int) {
+	for i, ns := range neighbors {
+		for _, j := range ns {
+			if j <= i {
+				continue
+			}
+			if at, ok := l.FirstExchangeSec(i, j); ok {
+				sum += at - winStartSec
+				pairs++
+			}
+		}
+	}
+	return sum, pairs
 }
 
 // RunTrials runs the same scenario with distinct seeds and pools the

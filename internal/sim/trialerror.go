@@ -1,0 +1,88 @@
+// Crash isolation for trial execution: a panic anywhere inside one trial —
+// protocol bug, poisoned scenario, substrate invariant violation — must
+// degrade that one data point, not kill a multi-thousand-trial experiment.
+// RunTrials runs every trial under recover() and converts failures into
+// structured TrialErrors that carry everything needed to reproduce the
+// crash deterministically: the scenario, the trial index, the derived seed
+// and the recovered stack, plus a one-line repro command.
+
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// TrialError describes one trial abandoned by RunTrials after exhausting
+// the Config.Retry budget.
+type TrialError struct {
+	// Scenario is a human-readable summary of the failing configuration.
+	Scenario string
+	// DensityVPL and BaseSeed echo the scenario inputs the repro command
+	// needs; Trial is the failing index and Seed the derived per-trial
+	// scenario seed (Seed = xrand.Mix(BaseSeed, Trial)).
+	DensityVPL float64
+	BaseSeed   uint64
+	Trial      int
+	Seed       uint64
+	// FaultsOn records whether fault injection was active in the run.
+	FaultsOn bool
+	// Err is the underlying failure; a recovered panic is wrapped as a
+	// PanicError. Stack is the goroutine stack captured at recovery
+	// (empty when the trial returned an ordinary error).
+	Err   error
+	Stack string
+}
+
+// Error renders the failure with its repro command; the stack is available
+// separately so logs stay one line unless callers want it.
+func (e *TrialError) Error() string {
+	return fmt.Sprintf("sim: trial %d (%s, seed %#x) failed: %v [repro: %s]",
+		e.Trial, e.Scenario, e.Seed, e.Err, e.Repro())
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *TrialError) Unwrap() error { return e.Err }
+
+// Repro returns a one-line command that deterministically replays the
+// failing trial (trials 0..Trial re-run; all are pure functions of the
+// seed, so the crash reproduces on the last one).
+func (e *TrialError) Repro() string {
+	cmd := fmt.Sprintf("go run ./cmd/mmv2v-sim -density %g -seed %d -trials %d",
+		e.DensityVPL, e.BaseSeed, e.Trial+1)
+	if e.FaultsOn {
+		cmd += " -faults <intensity>  # re-apply this run's FaultConfig"
+	}
+	return cmd
+}
+
+// PanicError wraps a value recovered from a panicking trial so it can
+// travel as an error through the retry and aggregation machinery.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// runIsolated executes one trial with panics converted into PanicErrors.
+func runIsolated(cfg Config, factory Factory) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: string(debug.Stack())}
+		}
+	}()
+	return Run(cfg, factory)
+}
+
+// scenarioLabel summarizes a config for TrialError messages.
+func scenarioLabel(cfg Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "density=%g vpl, %d×%gs windows", cfg.Traffic.DensityVPL, cfg.Windows, cfg.WindowSec)
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		b.WriteString(", faults on")
+	}
+	return b.String()
+}

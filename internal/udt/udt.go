@@ -126,7 +126,9 @@ func (s *Session) accrue(now des.Time) {
 		}
 		dt := now.Sub(ps.lastAccrual).Seconds()
 		if dt > 0 && ps.rate > 0 {
-			s.env.Ledger.Add(ps.A, ps.B, ps.rate*dt)
+			// Stamped with the interval start: the pair was exchanging from
+			// the moment the priced stream began, not when it was settled.
+			s.env.Ledger.AddAt(ps.A, ps.B, ps.rate*dt, ps.lastAccrual.Seconds())
 		}
 		ps.lastAccrual = now
 	}

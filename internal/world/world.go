@@ -107,7 +107,23 @@ type World struct {
 	rank   []int32
 	slotLo []int32
 	slots  [][]int32
+
+	// linkFault, when non-nil, multiplies every refreshed link's path gain
+	// by an extra factor (transient blockage bursts; see internal/faults).
+	linkFault LinkFault
 }
+
+// LinkFault is the world's fault-injection hook: an extra linear gain
+// factor (≤ 1) applied to pair (a, b) at each refresh. The LOS neighbor
+// sets — the OHM task definition — are unaffected, so faults degrade what
+// protocols achieve, never what they are asked to achieve.
+type LinkFault interface {
+	LinkFactorLin(a, b int) float64
+}
+
+// SetLinkFault installs a link-fault hook; nil restores the clean channel.
+// Takes effect at the next Refresh.
+func (w *World) SetLinkFault(f LinkFault) { w.linkFault = f }
 
 // New builds a World over a road. Refresh is called once so the world is
 // immediately queryable.
@@ -218,6 +234,9 @@ func (w *World) Refresh() {
 			}
 			blockers := w.countBlockers(a, b, order, xs, maxLen)
 			gain := w.model.PathGainLin(d, blockers) * w.shadowFactor(a, b)
+			if w.linkFault != nil {
+				gain *= w.linkFault.LinkFactorLin(a, b)
+			}
 			bAB := w.pos[a].BearingTo(w.pos[b])
 			bBA := geom.NormalizeBearing(bAB + geom.Bearing(math.Pi))
 			w.links[a] = append(w.links[a], Link{J: b, Dist: d, Bearing: bAB, Blockers: blockers, PathGainLin: gain})

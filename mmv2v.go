@@ -26,6 +26,7 @@ import (
 
 	"mmv2v/internal/baseline"
 	"mmv2v/internal/core"
+	"mmv2v/internal/faults"
 	"mmv2v/internal/metrics"
 	"mmv2v/internal/sim"
 	"mmv2v/internal/traffic"
@@ -56,6 +57,16 @@ type ROPParams = baseline.ROPParams
 // ADParams configure the IEEE 802.11ad PBSS baseline.
 type ADParams = baseline.ADParams
 
+// FaultConfig parameterizes the deterministic fault-injection layer
+// (control-frame loss, blockage bursts, radio churn, slot jitter). Assign
+// one to ScenarioConfig.Faults to stress a run; see internal/faults.
+type FaultConfig = faults.Config
+
+// TrialError describes one trial abandoned by RunTrials after its retry
+// budget: the scenario, trial index, derived seed, captured stack and a
+// one-line repro command (TrialError.Repro). Collected in Result.Failures.
+type TrialError = sim.TrialError
+
 // Protocol is a runnable OHM scheme bound to a scenario environment.
 type Protocol = sim.Protocol
 
@@ -80,6 +91,10 @@ func DefaultROPParams() ROPParams { return baseline.DefaultROPParams() }
 
 // DefaultADParams returns the 802.11ad baseline configuration.
 func DefaultADParams() ADParams { return baseline.DefaultADParams() }
+
+// DefaultFaultConfig returns the standard intensity-1 stress profile; use
+// FaultConfig.Scale to sweep intensity (Scale(0) disables everything).
+func DefaultFaultConfig() FaultConfig { return faults.DefaultConfig() }
 
 // MMV2V returns a factory for the paper's protocol.
 func MMV2V(p Params) Factory { return core.Factory(p) }

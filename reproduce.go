@@ -117,3 +117,20 @@ func DefaultAblationOptions() AblationOptions { return experiments.DefaultAblati
 func RunAblation(opts AblationOptions) (*AblationResult, error) {
 	return experiments.Ablation(opts)
 }
+
+// FaultsOptions parameterize the graceful-degradation fault sweep.
+type FaultsOptions = experiments.FaultsOptions
+
+// FaultsResult holds the fault-sweep table.
+type FaultsResult = experiments.FaultsResult
+
+// DefaultFaultsOptions returns the standard sweep: the 20 vpl scenario
+// under the default stress profile at intensities 0, ¼, ½ and 1.
+func DefaultFaultsOptions() FaultsOptions { return experiments.DefaultFaultsOptions() }
+
+// RunFaultSweep measures how mmV2V, ROP and IEEE 802.11ad degrade as
+// deterministic channel/radio faults intensify (our addition beyond the
+// paper; see internal/faults for the fault model).
+func RunFaultSweep(opts FaultsOptions) (*FaultsResult, error) {
+	return experiments.FaultSweep(opts)
+}
