@@ -2,15 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench experiments examples faults fuzz-smoke clean
+.PHONY: all build vet lint test test-short race bench experiments examples faults fuzz-smoke clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Determinism & simulation-hygiene analyzer (DESIGN.md §8). Exits non-zero
+# on any contract violation; see cmd/mmv2v-lint -list for the pass catalog.
+lint:
+	$(GO) run ./cmd/mmv2v-lint ./...
 
 test:
 	$(GO) test ./...

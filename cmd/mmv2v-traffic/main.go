@@ -92,6 +92,7 @@ func run() error {
 		byLane[v.Lane] = append(byLane[v.Lane], v.V)
 	}
 	lanes := make([]int, 0, len(byLane))
+	//mmv2v:sorted pure key collection; sorted below before printing
 	for l := range byLane {
 		lanes = append(lanes, l)
 	}

@@ -225,6 +225,7 @@ func (a *AD) planABFT() {
 			continue
 		}
 		pcps := make([]int, 0, len(a.heardBeacons[i]))
+		//mmv2v:sorted pure key collection; sorted below before the random draw
 		for p := range a.heardBeacons[i] {
 			pcps = append(pcps, p)
 		}
@@ -316,6 +317,7 @@ func (a *AD) servicePeriod(spEnd des.Time) {
 	a.sessions = nil
 
 	pcps := make([]int, 0, len(a.members))
+	//mmv2v:sorted pure key collection; sorted below before pair scheduling
 	for p := range a.members {
 		pcps = append(pcps, p)
 	}
@@ -370,6 +372,7 @@ func (a *AD) PBSSCount() int { return len(a.members) }
 // MemberCount returns the total number of associated members (for tests).
 func (a *AD) MemberCount() int {
 	n := 0
+	//mmv2v:sorted commutative integer count; order cannot affect the total
 	for _, ms := range a.members {
 		n += len(ms)
 	}

@@ -178,6 +178,7 @@ func (r *ROP) RunFrame(frame int) {
 			continue
 		}
 		cur := r.env.Ledger.Exchanged(i, j)
+		//mmv2v:exact intentional exact no-progress check: any accrual changes the ledger value bit-for-bit
 		if cur == r.pairBits[i] {
 			r.idleFrames[i]++
 		} else {
@@ -262,6 +263,7 @@ func (r *ROP) onSweep(me, senseSector int, d medium.Delivery) {
 // eligible returns i's fresh, incomplete discovered neighbors, sorted.
 func (r *ROP) eligible(i int) []int {
 	out := make([]int, 0, len(r.discovered[i]))
+	//mmv2v:sorted pure key collection with order-free filter; sorted below before returning
 	for j, info := range r.discovered[i] {
 		if r.frame-info.lastFrame >= r.cfg.StalenessFrames {
 			continue

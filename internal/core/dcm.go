@@ -55,6 +55,7 @@ func (p *Protocol) scheduleDCM(start des.Time) {
 // with the task not yet complete.
 func (p *Protocol) eligibleNeighbors(i int) []int {
 	out := make([]int, 0, len(p.discovered[i]))
+	//mmv2v:sorted pure key collection with order-free filter; sorted below before returning
 	for j, info := range p.discovered[i] {
 		if p.frame-info.lastFrame >= p.cfg.StalenessFrames {
 			continue
@@ -133,6 +134,7 @@ func (p *Protocol) dcmReply() {
 // fairness bias toward pairs with less completed work.
 func (p *Protocol) pairQuality(i, j int, mySNR, theirSNR float64) float64 {
 	q := math.Min(mySNR, theirSNR)
+	//mmv2v:exact config gate: the bias term is enabled iff the knob was set to a nonzero literal
 	if p.cfg.FairnessBiasDB != 0 {
 		q += p.cfg.FairnessBiasDB * (1 - p.env.Ledger.Progress(i, j, p.env.DemandBits))
 	}

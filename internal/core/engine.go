@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mmv2v/internal/des"
@@ -154,15 +155,17 @@ func (p *Protocol) RunFrame(frame int) {
 	p.env.Sim.ScheduleAt(udtStart, "mmv2v.udt", p.startUDT)
 }
 
-// Discovered returns a copy of vehicle i's currently known neighbor IDs
-// (for tests and diagnostics).
+// Discovered returns a sorted copy of vehicle i's currently known neighbor
+// IDs (for tests and diagnostics).
 func (p *Protocol) Discovered(i int) []int {
 	out := make([]int, 0, len(p.discovered[i]))
+	//mmv2v:sorted pure key collection; sorted below before returning
 	for j, info := range p.discovered[i] {
 		if p.frame-info.lastFrame < p.cfg.StalenessFrames {
 			out = append(out, j)
 		}
 	}
+	sort.Ints(out)
 	return out
 }
 

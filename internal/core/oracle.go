@@ -38,6 +38,7 @@ func GreedyMatching(w *world.World, eligible func(i, j int) bool) [][2]int {
 		}
 	}
 	sort.Slice(edges, func(a, b int) bool {
+		//mmv2v:exact deterministic comparator tie-break: bit-equal gains fall through to the index order
 		if edges[a].gain != edges[b].gain {
 			return edges[a].gain > edges[b].gain
 		}

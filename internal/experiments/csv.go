@@ -104,6 +104,7 @@ func (r *Theorem2Result) WriteCSV(w io.Writer) error {
 	rows := [][]string{{"p", "k", "analytic", "empirical", "in_sim"}}
 	for _, c := range r.Cells {
 		inSim := ""
+		//mmv2v:exact grid lookup: cell P values are exact literals from the sweep definition, never computed
 		if c.P == 0.5 {
 			if v, ok := r.SimRatioPerK[c.K]; ok {
 				inSim = f(v)

@@ -132,6 +132,7 @@ func FaultSweep(opts FaultsOptions) (*FaultsResult, error) {
 // Get returns a protocol's cell at an intensity.
 func (r *FaultsResult) Get(intensity float64, protocol string) (FaultsCell, bool) {
 	for _, row := range r.Rows {
+		//mmv2v:exact grid lookup: intensities are exact sweep literals carried through unmodified
 		if row.Intensity != intensity {
 			continue
 		}

@@ -117,6 +117,7 @@ func Fig9(opts Fig9Options) (*Fig9Result, error) {
 // Get returns the summary of a protocol at a density.
 func (r *Fig9Result) Get(density float64, protocol string) (metrics.Summary, bool) {
 	for _, row := range r.Rows {
+		//mmv2v:exact grid lookup: densities are exact sweep literals carried through unmodified
 		if row.DensityVPL != density {
 			continue
 		}

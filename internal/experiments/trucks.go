@@ -103,6 +103,7 @@ func Trucks(opts TrucksOptions) (*TrucksResult, error) {
 // Get returns the summary of a protocol at a truck fraction.
 func (r *TrucksResult) Get(fraction float64, protocol string) (metrics.Summary, bool) {
 	for _, row := range r.Rows {
+		//mmv2v:exact grid lookup: fractions are exact sweep literals carried through unmodified
 		if row.Fraction != fraction {
 			continue
 		}

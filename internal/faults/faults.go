@@ -105,6 +105,7 @@ func (c Config) Scale(intensity float64) Config {
 	if intensity <= 0 {
 		return Config{}
 	}
+	//mmv2v:exact shortcut for the exact literal 1.0 (full intensity); near-1 values take the scaling path correctly
 	if intensity == 1 {
 		return c
 	}

@@ -110,6 +110,7 @@ func pairKey(a, b int) uint64 {
 // pair (a, b) at the current refresh — 1 in the clear state, the configured
 // burst attenuation while blocked.
 func (f *Injector) LinkFactorLin(a, b int) float64 {
+	//mmv2v:exact disabled-feature sentinel: pGoodBad is exactly 0 iff blockage bursts were not configured
 	if f.pGoodBad == 0 {
 		return 1
 	}

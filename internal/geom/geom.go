@@ -177,14 +177,16 @@ func segmentsIntersect(p1, p2, p3, p4 Vec) bool {
 		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
 		return true
 	}
+	// Collinear endpoints: an exactly-zero cross product is the standard
+	// computational-geometry degeneracy test, not a tolerance compare.
 	switch {
-	case d1 == 0 && onSegment(p3, p4, p1):
+	case d1 == 0 && onSegment(p3, p4, p1): //mmv2v:exact zero cross product = exact collinearity
 		return true
-	case d2 == 0 && onSegment(p3, p4, p2):
+	case d2 == 0 && onSegment(p3, p4, p2): //mmv2v:exact zero cross product = exact collinearity
 		return true
-	case d3 == 0 && onSegment(p1, p2, p3):
+	case d3 == 0 && onSegment(p1, p2, p3): //mmv2v:exact zero cross product = exact collinearity
 		return true
-	case d4 == 0 && onSegment(p1, p2, p4):
+	case d4 == 0 && onSegment(p1, p2, p4): //mmv2v:exact zero cross product = exact collinearity
 		return true
 	}
 	return false

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPassesOnFixtures runs each pass against its fixture module and checks
+// the exact set of findings — including that directive suppression and the
+// cmd//xrand/sim allowlists keep their sites clean.
+func TestPassesOnFixtures(t *testing.T) {
+	cases := []struct {
+		pass string
+		want []string // "file:line: pass" for every expected finding, sorted
+	}{
+		{
+			pass: "maprange",
+			want: []string{
+				"pkg/pkg.go:11: maprange",
+			},
+		},
+		{
+			pass: "wallclock",
+			want: []string{
+				"internal/clocked/clocked.go:10: wallclock",
+				"internal/clocked/clocked.go:11: wallclock",
+				"internal/clocked/clocked.go:16: wallclock",
+				"internal/clocked/clocked.go:17: wallclock",
+			},
+		},
+		{
+			pass: "globalrand",
+			want: []string{
+				"internal/seeded/seeded.go:10: globalrand",
+				"internal/seeded/seeded.go:16: globalrand",
+				"internal/seeded/seeded.go:16: globalrand",
+				"internal/seeded/seeded.go:17: globalrand",
+			},
+		},
+		{
+			pass: "goroutine",
+			want: []string{
+				"internal/spawner/spawner.go:7: goroutine",
+				"internal/spawner/spawner.go:8: goroutine",
+			},
+		},
+		{
+			pass: "floateq",
+			want: []string{
+				"pkg/pkg.go:8: floateq",
+				"pkg/pkg.go:13: floateq",
+			},
+		},
+		{
+			pass: "errdrop",
+			want: []string{
+				"pkg/pkg.go:20: errdrop",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.pass, func(t *testing.T) {
+			root := filepath.Join("testdata", tc.pass)
+			findings, err := Run(root, Options{Passes: []string{tc.pass}})
+			if err != nil {
+				t.Fatalf("Run(%s): %v", root, err)
+			}
+			var got []string
+			for _, f := range findings {
+				got = append(got, fmt.Sprintf("%s:%d: %s", f.Pos.Filename, f.Pos.Line, f.Pass))
+			}
+			if !equalStrings(got, tc.want) {
+				t.Errorf("findings mismatch\n got: %v\nwant: %v", got, tc.want)
+			}
+
+			// Findings must be reproducible verbatim across runs.
+			again, err := Run(root, Options{Passes: []string{tc.pass}})
+			if err != nil {
+				t.Fatalf("second Run(%s): %v", root, err)
+			}
+			for i := range findings {
+				if i < len(again) && findings[i].String() != again[i].String() {
+					t.Errorf("run-to-run drift at %d: %q vs %q", i, findings[i], again[i])
+				}
+			}
+			if len(findings) != len(again) {
+				t.Errorf("run-to-run count drift: %d vs %d", len(findings), len(again))
+			}
+		})
+	}
+}
+
+// TestAllPassesTogether runs every pass at once over one fixture to confirm
+// pass selection defaults to all and findings stay sorted by position.
+func TestAllPassesTogether(t *testing.T) {
+	findings, err := Run(filepath.Join("testdata", "floateq"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Errorf("findings out of order: %q before %q", a, b)
+		}
+	}
+}
+
+// TestUnknownPass rejects pass names that do not exist.
+func TestUnknownPass(t *testing.T) {
+	_, err := Run(filepath.Join("testdata", "floateq"), Options{Passes: []string{"nope"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown pass") {
+		t.Fatalf("want unknown-pass error, got %v", err)
+	}
+}
+
+// TestDirFilter restricts analysis to a directory subtree.
+func TestDirFilter(t *testing.T) {
+	root := filepath.Join("testdata", "wallclock")
+	findings, err := Run(root, Options{Passes: []string{"wallclock"}, Dirs: []string{"cmd"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("cmd/ subtree should be clean, got %v", findings)
+	}
+	findings, err = Run(root, Options{Passes: []string{"wallclock"}, Dirs: []string{"internal/clocked"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 4 {
+		t.Errorf("internal/clocked should have 4 findings, got %v", findings)
+	}
+}
+
+// TestRepoIsClean is the determinism meta-test: the analyzer runs over the
+// real repository source, so a contract regression in any package fails
+// `go test ./...` — not just the separate `make lint` gate. DESIGN.md §8.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; covered by make lint in short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+	findings, err := Run(root, Options{})
+	if err != nil {
+		t.Fatalf("Run over repo: %v", err)
+	}
+	if len(findings) != 0 {
+		var lines []string
+		for _, f := range findings {
+			lines = append(lines, f.String())
+		}
+		t.Errorf("determinism contract violated:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,40 @@
+// Package pkg exercises the errdrop pass: a bare call dropping a lone error
+// result fires; explicit assignment, handling, and multi-result calls are
+// ignored.
+package pkg
+
+import "errors"
+
+// Close returns only an error.
+func Close() error {
+	return errors.New("boom")
+}
+
+// Write returns a count and an error.
+func Write(p []byte) (int, error) {
+	return len(p), nil
+}
+
+// Dropped discards Close's error silently: one finding.
+func Dropped() {
+	Close()
+}
+
+// Assigned makes the drop explicit: no finding.
+func Assigned() {
+	_ = Close()
+}
+
+// Handled checks the error: no finding.
+func Handled() error {
+	if err := Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MultiResult drops a (count, error) pair: outside this pass's contract, no
+// finding.
+func MultiResult() {
+	Write(nil)
+}

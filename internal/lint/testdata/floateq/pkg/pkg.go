@@ -1,0 +1,31 @@
+// Package pkg exercises the floateq pass: float ==/!= fires, a
+// //mmv2v:exact directive suppresses, and integer or constant-only compares
+// are ignored.
+package pkg
+
+// Same compares floats exactly: one finding.
+func Same(a, b float64) bool {
+	return a == b
+}
+
+// Changed compares floats exactly with !=: one finding.
+func Changed(a, b float32) bool {
+	return a != b
+}
+
+// Sentinel carries the directive on the line above: suppressed.
+func Sentinel(x float64) bool {
+	//mmv2v:exact zero-value sentinel for an unset field
+	return x == 0
+}
+
+// Ints compares integers: no finding.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// ConstGate compares two compile-time constants: no finding.
+func ConstGate() bool {
+	const eps = 1e-9
+	return eps == 1e-9
+}

@@ -1,0 +1,18 @@
+// Package seeded exercises the globalrand pass outside the internal/xrand
+// allowlist: the global Intn, rand.New and a method on a leaked *rand.Rand
+// all fire.
+package seeded
+
+import "math/rand"
+
+// Draw uses the global source: one finding.
+func Draw(n int) int {
+	return rand.Intn(n)
+}
+
+// Fresh constructs an unsanctioned generator and draws from it: three
+// findings (rand.New, rand.NewSource and the Float64 method).
+func Fresh(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

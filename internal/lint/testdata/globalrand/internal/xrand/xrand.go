@@ -1,0 +1,10 @@
+// Package xrand exercises the globalrand allowlist: the split-stream package
+// itself may wrap math/rand.
+package xrand
+
+import "math/rand"
+
+// New wraps a math/rand generator: no finding here.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

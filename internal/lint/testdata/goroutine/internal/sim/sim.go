@@ -1,0 +1,21 @@
+// Package sim exercises the goroutine allowlist: the runner package owns all
+// parallelism.
+package sim
+
+// Fan launches workers and merges by slot: no findings here.
+func Fan(n int) []int {
+	out := make([]int, n)
+	done := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			out[i] = i * i
+			done <- i
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-done:
+		}
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+// Package spawner exercises the goroutine pass outside the internal/sim
+// allowlist: a go statement and a select both fire.
+package spawner
+
+// Spawn launches a goroutine and races two channels: two findings.
+func Spawn(a, b chan int) int {
+	go func() { a <- 1 }()
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

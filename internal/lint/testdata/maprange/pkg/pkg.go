@@ -1,0 +1,44 @@
+// Package pkg exercises the maprange pass: an unordered map range fires, a
+// //mmv2v:sorted directive (trailing or on the line above) suppresses, and
+// slice ranges are ignored.
+package pkg
+
+import "sort"
+
+// Keys iterates a map without a directive: one finding.
+func Keys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Count carries the directive on the line above: suppressed.
+func Count(m map[int]string) int {
+	n := 0
+	//mmv2v:sorted commutative integer count
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Sum carries a trailing directive: suppressed.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { //mmv2v:sorted commutative integer sum
+		total += v
+	}
+	return total
+}
+
+// Slices ranges over a slice: never a finding.
+func Slices(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

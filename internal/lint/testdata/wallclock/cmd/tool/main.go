@@ -1,0 +1,13 @@
+// Command tool exercises the wallclock cmd/ allowlist: progress printing may
+// read the wall clock.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println("elapsed:", time.Since(start))
+}

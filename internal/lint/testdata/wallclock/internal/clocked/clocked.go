@@ -1,0 +1,24 @@
+// Package clocked exercises the wallclock pass outside the cmd/ allowlist:
+// wall-clock reads and timer construction fire; pure time.Duration
+// arithmetic does not.
+package clocked
+
+import "time"
+
+// Stamp reads the wall clock twice: two findings.
+func Stamp() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Nap sleeps and builds a ticker: two findings.
+func Nap(d time.Duration) {
+	time.Sleep(d)
+	t := time.NewTicker(d)
+	t.Stop()
+}
+
+// Scale only does duration arithmetic: no finding.
+func Scale(d time.Duration) time.Duration {
+	return 3 * d / 2
+}

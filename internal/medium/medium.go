@@ -303,6 +303,7 @@ func (m *Medium) deliverGroup(group []*transmission) {
 				continue
 			}
 			desired := m.w.RxPowerMw(g.from, j, g.beam, l.beam)
+			//mmv2v:exact RxPowerMw returns exactly 0 as its out-of-range/beam-miss sentinel
 			if desired == 0 {
 				continue
 			}
@@ -345,6 +346,7 @@ func (m *Medium) SINRNow(tx, rx int, txBeam, rxBeam phy.Beam) float64 {
 		return -300
 	}
 	desired := m.w.RxPowerMw(tx, rx, txBeam, rxBeam)
+	//mmv2v:exact RxPowerMw returns exactly 0 as its out-of-range/beam-miss sentinel
 	if desired == 0 {
 		return -300
 	}

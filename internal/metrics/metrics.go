@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -88,11 +89,19 @@ func (l *Ledger) Complete(i, j int, demandBits float64) bool {
 // Pairs returns the number of pairs with any recorded exchange.
 func (l *Ledger) Pairs() int { return len(l.bits) }
 
-// TotalBits returns the sum of all pair exchanges.
+// TotalBits returns the sum of all pair exchanges. Keys are summed in
+// sorted order: float addition is not associative, so accumulating in map
+// order would make the total depend on Go's randomized iteration.
 func (l *Ledger) TotalBits() float64 {
+	keys := make([]int64, 0, len(l.bits))
+	//mmv2v:sorted pure key collection; sorted before the order-sensitive float sum below
+	for k := range l.bits {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
 	total := 0.0
-	for _, b := range l.bits {
-		total += b
+	for _, k := range keys {
+		total += l.bits[k]
 	}
 	return total
 }
@@ -256,6 +265,7 @@ func (c CDF) Curve(k int) []Point {
 	}
 	lo, hi := c.xs[0], c.xs[len(c.xs)-1]
 	out := make([]Point, 0, k)
+	//mmv2v:exact lo and hi are copies of elements of the same sorted slice; equality means a degenerate single-value span
 	if k == 1 || hi == lo {
 		return append(out, Point{X: lo, Y: c.P(lo)})
 	}

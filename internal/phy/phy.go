@@ -218,4 +218,6 @@ type Beam struct {
 var Omni = Beam{}
 
 // IsOmni reports whether the beam is quasi-omni.
+//
+//mmv2v:exact zero-value sentinel: Omni is the literal Beam{} and real beams always have Width > 0
 func (b Beam) IsOmni() bool { return b.Width == 0 }

@@ -321,6 +321,7 @@ func (r *Road) gapAhead(v *Vehicle, lane int, sorted []*Vehicle) (gap float64, l
 			continue
 		}
 		d := wrap(o.S-v.S, r.cfg.Length)
+		//mmv2v:exact wrap returns exactly 0 only for identical ring positions (co-located sentinel)
 		if d == 0 {
 			d = r.cfg.Length // co-located treated as full lap ahead
 		}
@@ -329,6 +330,7 @@ func (r *Road) gapAhead(v *Vehicle, lane int, sorted []*Vehicle) (gap float64, l
 			leaderV = o.V
 		}
 	}
+	//mmv2v:exact MaxFloat64 is an untouched initialization sentinel meaning "no leader found"
 	if best == math.MaxFloat64 {
 		return 1e9, leaderV
 	}
@@ -344,6 +346,7 @@ func (r *Road) gapBehind(s float64, lane int, exclude *Vehicle, dirVehicles []*V
 			continue
 		}
 		d := wrap(s-o.S, r.cfg.Length)
+		//mmv2v:exact wrap returns exactly 0 only for identical ring positions (self/co-located sentinel)
 		if d == 0 {
 			continue
 		}
@@ -389,13 +392,24 @@ func (r *Road) Step(dt float64) {
 	for _, v := range r.vehicles {
 		byDir[v.Dir] = append(byDir[v.Dir], v)
 	}
-	for _, vs := range byDir {
+	// Per-direction groups are processed in sorted direction order so the
+	// update sequence never depends on Go's randomized map iteration.
+	dirs := make([]int, 0, len(byDir))
+	//mmv2v:sorted pure key collection; sorted below before any per-direction processing
+	for d := range byDir {
+		dirs = append(dirs, int(d))
+	}
+	sort.Ints(dirs)
+	groups := make([][]*Vehicle, 0, len(dirs))
+	for _, d := range dirs {
+		vs := byDir[Direction(d)]
 		sort.Slice(vs, func(i, j int) bool { return vs[i].S < vs[j].S })
+		groups = append(groups, vs)
 	}
 
 	// Lane-change pass (MOBIL), evaluated at the configured cadence.
 	if r.cfg.LaneChangeCheckEvery > 0 {
-		for _, vs := range byDir {
+		for _, vs := range groups {
 			for _, v := range vs {
 				v.sinceLaneChange += dt
 				due := math.Mod(r.elapsed+v.Quantile*r.cfg.LaneChangeCheckEvery, r.cfg.LaneChangeCheckEvery)
@@ -407,7 +421,7 @@ func (r *Road) Step(dt float64) {
 	}
 
 	// Acceleration pass.
-	for _, vs := range byDir {
+	for _, vs := range groups {
 		for _, v := range vs {
 			gap, leaderV := r.gapAhead(v, v.Lane, vs)
 			v.A = r.idmAccel(v.V, v.DesiredV, gap, leaderV)

@@ -109,6 +109,7 @@ func (s *Session) reprice() {
 		tx, txBeam := ps.txSide()
 		rx, rxBeam := ps.rxSide()
 		rate := phy.DataRate(s.env.Medium.SINRNow(tx, rx, txBeam, rxBeam))
+		//mmv2v:exact change detection on a discrete MCS table rate; equal bits mean the same table entry
 		if rate != ps.rate {
 			s.env.Trace.Emit(trace.Event{
 				At: s.env.Sim.Now(), Kind: trace.KindRate, A: ps.A, B: ps.B, Value: rate,

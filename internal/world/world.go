@@ -229,6 +229,7 @@ func (w *World) Refresh() {
 				break
 			}
 			d := w.pos[a].Dist(w.pos[b])
+			//mmv2v:exact Dist is exactly 0 only for identical coordinates (co-located sentinel)
 			if d > w.cfg.InterferenceRange || d == 0 {
 				continue
 			}
@@ -298,6 +299,7 @@ func (w *World) sortOrderByX() {
 // the pair's surrounding geometry).
 func (w *World) shadowFactor(a, b int) float64 {
 	sigma := w.cfg.Channel.ShadowSigmaDB
+	//mmv2v:exact disabled-feature sentinel: sigma is exactly 0 iff shadowing was not configured
 	if sigma == 0 {
 		return 1
 	}
@@ -413,6 +415,7 @@ func (w *World) RxPowerMw(tx, rx int, txBeam, rxBeam phy.Beam) float64 {
 // given beams, or -Inf when out of range.
 func (w *World) SNRdB(tx, rx int, txBeam, rxBeam phy.Beam) float64 {
 	p := w.RxPowerMw(tx, rx, txBeam, rxBeam)
+	//mmv2v:exact RxPowerMw returns exactly 0 as its out-of-range/beam-miss sentinel
 	if p == 0 {
 		return math.Inf(-1)
 	}
