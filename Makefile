@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench experiments examples faults fuzz-smoke clean
+.PHONY: all build vet lint test test-short race bench bench-json profile experiments examples faults fuzz-smoke clean
 
 all: build vet lint test
 
@@ -30,6 +30,16 @@ race:
 # One benchmark per paper table/figure plus simulator workloads.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Snapshot a full benchmark run as structured JSON for archiving/diffing.
+bench-json:
+	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/mmv2v-bench2json > BENCH_$$(date +%F).json
+
+# CPU + heap profiles of a representative pooled run with statistics on;
+# inspect with `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile:
+	$(GO) run ./cmd/mmv2v-sim -density 20 -trials 4 -stats stats.jsonl \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
 
 # Regenerate the paper's full evaluation (minutes; see -trials).
 experiments:

@@ -1,0 +1,128 @@
+// Command mmv2v-bench2json converts `go test -bench` text output into a
+// structured JSON document, so benchmark runs can be archived and diffed
+// (see `make bench-json`, which snapshots a run as BENCH_<date>.json).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | mmv2v-bench2json -date 2026-08-06
+//
+// The converter reads stdin, groups benchmark lines under the pkg: headers
+// `go test` prints per package, splits the -N GOMAXPROCS suffix off each
+// name, and carries every value/unit pair (ns/op, B/op, allocs/op, custom
+// units) into a metrics map. Non-benchmark lines (PASS, ok, failures) are
+// ignored, so piping a full `make bench` run through it just works.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Pkg        string             `json:"pkg,omitempty"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole converted run.
+type Report struct {
+	Date       string            `json:"date,omitempty"`
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	date := flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the report")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *date); err != nil {
+		fmt.Fprintln(os.Stderr, "mmv2v-bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer, date string) error {
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	rep.Date = date
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// envKeys are the `key: value` header lines `go test -bench` prints; pkg is
+// handled separately because it changes per package section.
+var envKeys = map[string]bool{"goos": true, "goarch": true, "cpu": true}
+
+// parse consumes `go test -bench` output and keeps only what a diff needs.
+func parse(in io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if key, val, ok := strings.Cut(line, ": "); ok && !strings.Contains(key, " ") {
+			switch {
+			case key == "pkg":
+				pkg = val
+			case envKeys[key]:
+				if rep.Env == nil {
+					rep.Env = map[string]string{}
+				}
+				rep.Env[key] = val
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, err := parseBenchLine(line)
+		if err != nil {
+			return nil, err
+		}
+		b.Pkg = pkg
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine splits "BenchmarkName-8  100  123 ns/op  4 B/op ..." into
+// its name, GOMAXPROCS suffix, iteration count and value/unit metric pairs.
+func parseBenchLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	b := Benchmark{Name: strings.TrimPrefix(fields[0], "Benchmark")}
+	if i := strings.LastIndexByte(b.Name, '-'); i >= 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("benchmark line %q: bad iteration count: %w", line, err)
+	}
+	b.Iterations = iters
+	b.Metrics = make(map[string]float64, (len(fields)-2)/2)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("benchmark line %q: bad metric value %q: %w", line, fields[i], err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: mmv2v/internal/world
+cpu: Example CPU @ 3.00GHz
+BenchmarkRefresh15vpl-8   	     100	  11859939 ns/op	   12345 B/op	      67 allocs/op
+PASS
+ok  	mmv2v/internal/world	2.011s
+pkg: mmv2v/internal/obs
+BenchmarkNilRegistryCounterInc-8 	1000000000	         0.2504 ns/op
+ok  	mmv2v/internal/obs	0.412s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Env["goos"]; got != "linux" {
+		t.Errorf("env goos = %q, want linux", got)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Pkg != "mmv2v/internal/world" || b.Name != "Refresh15vpl" || b.Procs != 8 {
+		t.Errorf("benchmark[0] = %+v, want Refresh15vpl-8 in internal/world", b)
+	}
+	if b.Iterations != 100 || b.Metrics["ns/op"] != 11859939 ||
+		b.Metrics["B/op"] != 12345 || b.Metrics["allocs/op"] != 67 {
+		t.Errorf("benchmark[0] metrics = %+v", b)
+	}
+	o := rep.Benchmarks[1]
+	if o.Pkg != "mmv2v/internal/obs" || o.Metrics["ns/op"] != 0.2504 {
+		t.Errorf("benchmark[1] = %+v, want obs no-op result", o)
+	}
+}
+
+func TestParseSubBenchmarkName(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkHistogram/observe-16 500 3.5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "Histogram/observe" || b.Procs != 16 {
+		t.Errorf("sub-benchmark parsed as %+v", b)
+	}
+}
+
+func TestParseMalformedLine(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkBroken-8 notanumber 1 ns/op\n")); err == nil {
+		t.Error("malformed iteration count did not error")
+	}
+}
+
+func TestRunEmitsJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sample), &out, "2026-08-06"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"date": "2026-08-06"`, `"name": "Refresh15vpl"`, `"ns/op": 11859939`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("JSON output missing %s:\n%s", want, out.String())
+		}
+	}
+}

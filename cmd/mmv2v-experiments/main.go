@@ -15,6 +15,14 @@
 // (0, the default, uses all CPU cores). Tables are bit-identical for any
 // -workers value: trials are independently seeded and merged in trial
 // order.
+//
+// -progress prints per-cell completion with elapsed wall-clock time to
+// stderr while the tables build. -stats <path> additionally records
+// per-layer statistics for the figures that support them (9 and the fault
+// sweep) and writes them to the path as JSON Lines — or CSV when the path
+// ends in .csv — with a summary table on stderr; the stdout tables are
+// byte-identical with or without it. -cpuprofile/-memprofile write pprof
+// profiles of the whole run.
 package main
 
 import (
@@ -22,6 +30,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
 	"time"
 
 	"mmv2v"
@@ -42,11 +54,41 @@ func run(w io.Writer) error {
 		format   = flag.String("format", "table", "output format: table or csv")
 		workers  = flag.Int("workers", 0, "max concurrent trial simulations (0 = all CPU cores); results are identical for any value")
 		faultRun = flag.Bool("faults", false, "shorthand for -fig faults: the graceful-degradation fault sweep")
+		verbose  = flag.Bool("progress", false, "print per-cell completion progress with elapsed wall-clock time to stderr")
+		statsOut = flag.String("stats", "", "record per-layer statistics (figures 9 and faults) and write them to this file (CSV if the path ends in .csv, JSON Lines otherwise)")
+		cpuOut   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memOut   = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
 	flag.Parse()
 	if *faultRun {
 		*fig = "faults"
 	}
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	// Progress callbacks fire from concurrent experiment cells; serialize
+	// the printer. Wall-clock time is measured here, never inside the
+	// deterministic experiment layer.
+	runStart := time.Now()
+	var progress func(cell string)
+	if *verbose {
+		var mu sync.Mutex
+		progress = func(cell string) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(os.Stderr, "[%v] %s\n", time.Since(runStart).Round(time.Millisecond), cell)
+		}
+	}
+	recordStats := *statsOut != ""
+	var statsRows []mmv2v.StatsRow
 	if *format != "table" && *format != "csv" {
 		return fmt.Errorf("unknown format %q (want table or csv)", *format)
 	}
@@ -60,6 +102,7 @@ func run(w io.Writer) error {
 			opts := mmv2v.DefaultFig6Options()
 			opts.Seed = *seed
 			opts.Workers = *workers
+			opts.Progress = progress
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -78,6 +121,7 @@ func run(w io.Writer) error {
 			opts := mmv2v.DefaultFig7Options()
 			opts.Seed = *seed
 			opts.Workers = *workers
+			opts.Progress = progress
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -96,6 +140,7 @@ func run(w io.Writer) error {
 			opts := mmv2v.DefaultFig8Options()
 			opts.Seed = *seed
 			opts.Workers = *workers
+			opts.Progress = progress
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -114,6 +159,8 @@ func run(w io.Writer) error {
 			opts := mmv2v.DefaultFig9Options()
 			opts.Seed = *seed
 			opts.Workers = *workers
+			opts.Progress = progress
+			opts.Stats = recordStats
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -121,6 +168,7 @@ func run(w io.Writer) error {
 			if err != nil {
 				return err
 			}
+			statsRows = append(statsRows, res.StatsRows()...)
 			if csvMode {
 				return res.WriteCSV(w)
 			}
@@ -148,6 +196,7 @@ func run(w io.Writer) error {
 			opts := mmv2v.DefaultWarmupOptions()
 			opts.Seed = *seed
 			opts.Workers = *workers
+			opts.Progress = progress
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -163,6 +212,7 @@ func run(w io.Writer) error {
 			opts := mmv2v.DefaultTrucksOptions()
 			opts.Seed = *seed
 			opts.Workers = *workers
+			opts.Progress = progress
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -181,6 +231,8 @@ func run(w io.Writer) error {
 			opts := mmv2v.DefaultFaultsOptions()
 			opts.Seed = *seed
 			opts.Workers = *workers
+			opts.Progress = progress
+			opts.Stats = recordStats
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -188,6 +240,7 @@ func run(w io.Writer) error {
 			if err != nil {
 				return err
 			}
+			statsRows = append(statsRows, res.StatsRows()...)
 			if csvMode {
 				return res.WriteCSV(w)
 			}
@@ -199,6 +252,7 @@ func run(w io.Writer) error {
 			opts := mmv2v.DefaultAblationOptions()
 			opts.Seed = *seed
 			opts.Workers = *workers
+			opts.Progress = progress
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -233,5 +287,48 @@ func run(w io.Writer) error {
 			fmt.Fprintf(w, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	if recordStats {
+		if err := writeStats(*statsOut, statsRows); err != nil {
+			return err
+		}
+	}
+	return writeMemProfile(*memOut)
+}
+
+// writeStats exports the collected statistics rows to path — CSV when the
+// suffix asks for it, JSON Lines otherwise — and prints the summary table
+// to stderr so the stdout figure tables stay byte-identical.
+func writeStats(path string, rows []mmv2v.StatsRow) error {
+	mmv2v.SortStatsRows(rows)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		err = mmv2v.WriteStatsCSV(f, rows)
+	} else {
+		err = mmv2v.WriteStatsJSONL(f, rows)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr)
+	mmv2v.WriteStatsSummary(os.Stderr, rows)
 	return nil
+}
+
+// writeMemProfile snapshots the heap (after forcing a GC so the profile
+// reflects live objects) when -memprofile asked for one.
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }

@@ -12,6 +12,12 @@
 // 0 (the default) is a clean channel. Trials are crash-isolated: a trial
 // that panics is retried -retry times and then reported on stderr as a
 // TrialError with a repro command, while the remaining trials still pool.
+//
+// -stats <path> records per-layer statistics (discovery sweeps, control
+// frames, SINR histograms, airtime per MCS, ...) and writes them to the
+// path as JSON Lines — or CSV when the path ends in .csv — plus a summary
+// table; see DESIGN.md §9 for the schema. -cpuprofile/-memprofile write
+// pprof profiles of the run.
 package main
 
 import (
@@ -19,6 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"mmv2v"
 )
@@ -46,10 +55,26 @@ func run() error {
 		traceOut  = flag.String("trace", "", "write protocol events as JSON Lines to this file")
 		intensity = flag.Float64("faults", 0, "fault-injection intensity: scales the standard stress profile (0 = clean channel, 1 = full profile)")
 		retry     = flag.Int("retry", 0, "re-run a failed trial up to this many times before recording it as lost")
+		statsOut  = flag.String("stats", "", "record per-layer statistics and write them to this file (CSV if the path ends in .csv, JSON Lines otherwise)")
+		cpuOut    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memOut    = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
 	flag.Parse()
 
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	cfg := mmv2v.DefaultScenario(*density, *seed)
+	cfg.Stats = *statsOut != ""
 	cfg.WindowSec = *seconds
 	cfg.Windows = *windows
 	cfg.DemandBits = *demand
@@ -109,10 +134,14 @@ func run() error {
 		Events       uint64  `json:"des_events"`
 	}
 	var rows []jsonRow
+	var statsRows []mmv2v.StatsRow
 	for _, name := range names {
 		res, err := mmv2v.RunTrials(cfg, factories[name], *trials)
 		if err != nil {
 			return err
+		}
+		if *statsOut != "" {
+			statsRows = append(statsRows, mmv2v.StatsRows(res.Obs, res.Protocol)...)
 		}
 		for _, te := range res.Failures {
 			fmt.Fprintf(os.Stderr, "mmv2v-sim: %v\n", te)
@@ -140,7 +169,56 @@ func run() error {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(rows)
+		if err := enc.Encode(rows); err != nil {
+			return err
+		}
 	}
+	if *statsOut != "" {
+		if err := writeStats(*statsOut, statsRows, *jsonOut); err != nil {
+			return err
+		}
+	}
+	return writeMemProfile(*memOut)
+}
+
+// writeStats exports the pooled statistics rows to path — CSV when the
+// suffix asks for it, JSON Lines otherwise — and prints the summary table:
+// to stdout normally, to stderr under -json so stdout stays parseable.
+func writeStats(path string, rows []mmv2v.StatsRow, jsonMode bool) error {
+	mmv2v.SortStatsRows(rows)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		err = mmv2v.WriteStatsCSV(f, rows)
+	} else {
+		err = mmv2v.WriteStatsJSONL(f, rows)
+	}
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if jsonMode {
+		out = os.Stderr
+	}
+	fmt.Fprintln(out)
+	mmv2v.WriteStatsSummary(out, rows)
 	return nil
+}
+
+// writeMemProfile snapshots the heap (after forcing a GC so the profile
+// reflects live objects) when -memprofile asked for one.
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }

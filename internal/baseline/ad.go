@@ -7,6 +7,7 @@ import (
 
 	"mmv2v/internal/des"
 	"mmv2v/internal/medium"
+	"mmv2v/internal/obs"
 	"mmv2v/internal/phy"
 	"mmv2v/internal/sim"
 	"mmv2v/internal/trace"
@@ -97,6 +98,11 @@ type AD struct {
 
 	frame    int
 	sessions []*udt.Session
+
+	// Statistics handles (nil-safe no-ops when Env.Obs is nil).
+	obsBeaconTx     *obs.Counter
+	obsAssocTx      *obs.Counter
+	obsAssociations *obs.Counter
 }
 
 // NewAD builds the 802.11ad baseline.
@@ -117,6 +123,9 @@ func NewAD(env *sim.Env, cfg ADParams) *AD {
 	for i := range a.heardBeacons {
 		a.heardBeacons[i] = make(map[int]*discovery)
 	}
+	a.obsBeaconTx = env.Obs.Counter("ad.beacon_tx")
+	a.obsAssocTx = env.Obs.Counter("ad.assoc_tx")
+	a.obsAssociations = env.Obs.Counter("ad.associations")
 	env.OnRefresh(a.onRefresh)
 	return a
 }
@@ -191,6 +200,7 @@ func (a *AD) btiSlot(sector int) {
 			continue
 		}
 		a.env.Medium.Transmit(i, beam, a.env.Timing.SSW, beacon{pcp: i, sector: sector})
+		a.obsBeaconTx.Inc()
 	}
 }
 
@@ -262,6 +272,7 @@ func (a *AD) abftSlot(k int) {
 		beam := phy.Beam{Bearing: cb.Sectors.Center(info.towardSector), Width: cb.TxWidth}
 		a.env.Medium.Transmit(i, beam, a.env.Timing.SSW,
 			assocReq{from: i, pcp: p, towardSector: info.towardSector})
+		a.obsAssocTx.Inc()
 	}
 }
 
@@ -277,6 +288,7 @@ func (a *AD) onAssoc(pcp int, d medium.Delivery) {
 		}
 	}
 	a.members[pcp] = append(a.members[pcp], req.from)
+	a.obsAssociations.Inc()
 	a.env.Trace.Emit(trace.Event{
 		At: d.At, Frame: a.frame, Kind: trace.KindAssociation, A: req.from, B: pcp,
 	})

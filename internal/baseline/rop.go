@@ -13,6 +13,7 @@ import (
 
 	"mmv2v/internal/des"
 	"mmv2v/internal/medium"
+	"mmv2v/internal/obs"
 	"mmv2v/internal/phy"
 	"mmv2v/internal/sim"
 	"mmv2v/internal/udt"
@@ -123,6 +124,11 @@ type ROP struct {
 	frame    int
 	frameEnd des.Time
 	session  *udt.Session
+
+	// Statistics handles (nil-safe no-ops when Env.Obs is nil).
+	obsSweepTx     *obs.Counter
+	obsDiscoveries *obs.Counter
+	obsMatches     *obs.Counter
 }
 
 // NewROP builds the ROP baseline.
@@ -147,6 +153,9 @@ func NewROP(env *sim.Env, cfg ROPParams) *ROP {
 	for i := range r.discovered {
 		r.discovered[i] = make(map[int]*discovery)
 	}
+	r.obsSweepTx = env.Obs.Counter("rop.sweep_tx")
+	r.obsDiscoveries = env.Obs.Counter("rop.discoveries")
+	r.obsMatches = env.Obs.Counter("rop.matches")
 	env.OnRefresh(r.onRefresh)
 	return r
 }
@@ -234,6 +243,7 @@ func (r *ROP) discoverSlot(k int) {
 	for _, tx := range txs {
 		beam := phy.Beam{Bearing: cb.Sectors.Center(tx.sector), Width: cb.TxWidth}
 		r.env.Medium.Transmit(tx.i, beam, r.env.Timing.SSW, ropSweep{from: tx.i, sector: tx.sector})
+		r.obsSweepTx.Inc()
 	}
 }
 
@@ -251,6 +261,7 @@ func (r *ROP) onSweep(me, senseSector int, d medium.Delivery) {
 	if info == nil {
 		info = &discovery{}
 		r.discovered[me][msg.from] = info
+		r.obsDiscoveries.Inc()
 	}
 	if info.lastFrame == r.frame && info.snrDB >= d.SINRdB {
 		return
@@ -310,6 +321,7 @@ func (r *ROP) matchRound(m int) {
 		if r.pick[j] == i {
 			r.matched[i] = j
 			r.matched[j] = i
+			r.obsMatches.Inc()
 			r.pairBits[i] = r.env.Ledger.Exchanged(i, j)
 			r.pairBits[j] = r.pairBits[i]
 			r.idleFrames[i] = 0

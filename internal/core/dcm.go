@@ -155,6 +155,7 @@ func (p *Protocol) transmitNeg(i, j int) {
 	}
 	p.env.Medium.Transmit(i, beam, p.env.Timing.ControlPreamble, msg)
 	p.Negotiations++
+	p.obsNegTx.Inc()
 }
 
 // listenToward aims vehicle i's receive beam at neighbor j for negotiation
@@ -190,6 +191,7 @@ func (p *Protocol) onNegTraffic(me int, d medium.Delivery) {
 		// condition 2 update): we are single again.
 		if p.cand[me].valid && p.cand[me].peer == msg.from {
 			p.cand[me] = candidate{}
+			p.obsBreakupsRecv.Inc()
 			p.env.Trace.Emit(trace.Event{
 				At: d.At, Frame: p.frame, Kind: trace.KindBreakup,
 				A: msg.from, B: me,
@@ -235,6 +237,7 @@ func (p *Protocol) dcmDecide(slot int) {
 		}
 		p.cand[i] = candidate{peer: j, snrDB: pairQ, valid: true}
 		p.Matches++
+		p.obsMatches.Inc()
 		p.env.Trace.Emit(trace.Event{
 			At: p.env.Sim.Now(), Frame: p.frame, Kind: trace.KindMatch,
 			A: i, B: j, Value: pairQ,
@@ -270,6 +273,7 @@ func (p *Protocol) transmitBreak(i, to int) {
 	}
 	beam := phy.Beam{Bearing: p.cfg.Codebook.Sectors.Center(info.towardSector), Width: p.cfg.Codebook.TxWidth}
 	p.env.Medium.Transmit(i, beam, p.env.Timing.ControlPreamble, breakMsg{from: i, to: to})
+	p.obsBreakTx.Inc()
 }
 
 // Bucket exposes the CNS bucket of a pair (for tests).

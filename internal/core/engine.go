@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mmv2v/internal/des"
+	"mmv2v/internal/obs"
 	"mmv2v/internal/sim"
 )
 
@@ -61,6 +62,14 @@ type Protocol struct {
 	Matches         uint64
 	BreakupsSent    uint64
 	RefineFailures  uint64
+
+	// Statistics handles (nil-safe no-ops when Env.Obs is nil).
+	obsSSWTx        *obs.Counter
+	obsDiscoveries  *obs.Counter
+	obsNegTx        *obs.Counter
+	obsBreakTx      *obs.Counter
+	obsMatches      *obs.Counter
+	obsBreakupsRecv *obs.Counter
 }
 
 // negotiationState records the peer negotiation message decoded in a slot.
@@ -92,6 +101,12 @@ func New(env *sim.Env, cfg Params) *Protocol {
 	for i := range p.discovered {
 		p.discovered[i] = make(map[int]*neighborInfo)
 	}
+	p.obsSSWTx = env.Obs.Counter("snd.ssw_tx")
+	p.obsDiscoveries = env.Obs.Counter("snd.discoveries")
+	p.obsNegTx = env.Obs.Counter("dcm.neg_tx")
+	p.obsBreakTx = env.Obs.Counter("dcm.break_tx")
+	p.obsMatches = env.Obs.Counter("dcm.matches")
+	p.obsBreakupsRecv = env.Obs.Counter("dcm.breakups_recv")
 	env.OnRefresh(p.onRefresh)
 	return p
 }

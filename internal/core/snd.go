@@ -94,6 +94,7 @@ func (p *Protocol) sndSweepOne(i, half, sector int) {
 	cb := p.cfg.Codebook
 	beam := phy.Beam{Bearing: cb.Sectors.Center(sector), Width: cb.TxWidth}
 	p.env.Medium.Transmit(i, beam, p.env.Timing.SSW, sswMsg{from: i, sector: sector})
+	p.obsSSWTx.Inc()
 }
 
 // selectRoles performs Probabilistic Role Selection (Sec. III-B1): each
@@ -140,6 +141,7 @@ func (p *Protocol) sndSweep(half, sector int) {
 			continue
 		}
 		p.env.Medium.Transmit(i, beam, p.env.Timing.SSW, sswMsg{from: i, sector: sector})
+		p.obsSSWTx.Inc()
 	}
 }
 
@@ -159,6 +161,7 @@ func (p *Protocol) onSSW(me, senseSector int, d medium.Delivery) {
 		info = &neighborInfo{}
 		p.discovered[me][msg.from] = info
 		p.DiscoveredTotal++
+		p.obsDiscoveries.Inc()
 		p.env.Trace.Emit(trace.Event{
 			At: d.At, Frame: p.frame, Kind: trace.KindDiscovery,
 			A: me, B: msg.from, Value: d.SNRdB,

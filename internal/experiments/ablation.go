@@ -23,6 +23,9 @@ type AblationOptions struct {
 	// Workers bounds concurrent trial simulations across all variants
 	// (0 = GOMAXPROCS). The table is identical for any value.
 	Workers int
+	// Progress, when non-nil, is invoked once per completed variant; must
+	// be safe for concurrent use.
+	Progress func(cell string)
 }
 
 // DefaultAblationOptions returns the standard setting.
@@ -82,6 +85,7 @@ func Ablation(opts AblationOptions) (*AblationResult, error) {
 			return err
 		}
 		rows[vi] = AblationRow{Variant: v.name, Summary: pooled.Summary}
+		reportProgress(opts.Progress, "ablation %s", v.name)
 		return nil
 	})
 	if err != nil {

@@ -33,3 +33,13 @@ func scenario(density float64, seed uint64) sim.Config {
 func writeHeader(w io.Writer, title string) {
 	fmt.Fprintf(w, "== %s ==\n", title)
 }
+
+// reportProgress invokes a per-cell progress callback, if set, with a
+// formatted completed-cell label. Cells complete on concurrent Gather
+// goroutines, so installed callbacks must be safe for concurrent use (the
+// CLI wraps its printer in a mutex).
+func reportProgress(fn func(string), format string, args ...any) {
+	if fn != nil {
+		fn(fmt.Sprintf(format, args...))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"mmv2v/internal/core"
 	"mmv2v/internal/faults"
 	"mmv2v/internal/metrics"
+	"mmv2v/internal/obs"
 	"mmv2v/internal/sim"
 )
 
@@ -34,6 +35,12 @@ type FaultsOptions struct {
 	// Workers bounds concurrent trial simulations across all cells
 	// (0 = GOMAXPROCS). The tables are identical for any value.
 	Workers int
+	// Stats enables per-cell layer statistics (see Fig9Options.Stats).
+	Stats bool
+	// Progress, when non-nil, is invoked once per completed (intensity,
+	// protocol) cell with a short label. Cells complete on concurrent
+	// goroutines, so the callback must be safe for concurrent use.
+	Progress func(cell string)
 }
 
 // DefaultFaultsOptions returns the default sweep: the paper's 20 vpl
@@ -60,6 +67,8 @@ type FaultsCell struct {
 	Trials   int
 	Retried  int
 	Failures int
+	// Obs is the cell's pooled layer statistics (nil unless Options.Stats).
+	Obs *obs.Registry
 }
 
 // FaultsRow is one intensity's measurements.
@@ -96,6 +105,7 @@ func FaultSweep(opts FaultsOptions) (*FaultsResult, error) {
 			cfg.WindowSec = opts.WindowSec
 		}
 		cfg.Retry = opts.Retry
+		cfg.Stats = opts.Stats
 		profile := opts.Profile.Scale(opts.Intensities[ii])
 		cfg.Faults = &profile
 		pooled, err := runner.RunTrials(cfg, factories[fi], opts.Trials)
@@ -109,7 +119,9 @@ func FaultSweep(opts FaultsOptions) (*FaultsResult, error) {
 			Trials:         pooled.Trials,
 			Retried:        pooled.Retried,
 			Failures:       len(pooled.Failures),
+			Obs:            pooled.Obs,
 		}
+		reportProgress(opts.Progress, "faults intensity=%g %s", opts.Intensities[ii], pooled.Protocol)
 		return nil
 	})
 	if err != nil {
@@ -143,6 +155,21 @@ func (r *FaultsResult) Get(intensity float64, protocol string) (FaultsCell, bool
 		}
 	}
 	return FaultsCell{}, false
+}
+
+// StatsRows exports every cell's layer statistics (when the run had
+// Options.Stats), each row scoped "faults/intensity=<i>/<protocol>", sorted
+// by (scope, name, kind). Nil-Obs cells contribute nothing.
+func (r *FaultsResult) StatsRows() []obs.Row {
+	var rows []obs.Row
+	for _, row := range r.Rows {
+		for _, c := range row.Cells {
+			scope := fmt.Sprintf("faults/intensity=%g/%s", row.Intensity, c.Protocol)
+			rows = append(rows, c.Obs.Rows(scope)...)
+		}
+	}
+	obs.SortRows(rows)
+	return rows
 }
 
 // WriteTable prints the degradation table: (a) OCR, (b) time to first

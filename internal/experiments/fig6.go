@@ -33,6 +33,9 @@ type Fig6Options struct {
 	// (scenario, C) cells (0 = GOMAXPROCS). The curves are identical for
 	// any value.
 	Workers int
+	// Progress, when non-nil, is invoked once per completed (density, C)
+	// cell; must be safe for concurrent use.
+	Progress func(cell string)
 }
 
 // DefaultFig6Options returns the paper's configuration.
@@ -123,6 +126,7 @@ func Fig6(opts Fig6Options) (*Fig6Result, error) {
 			}
 			cell.avgN += trialAvgN[trial] / float64(opts.Trials)
 		}
+		reportProgress(opts.Progress, "fig6 density=%g C=%d", opts.Densities[di], c)
 		return nil
 	})
 	if err != nil {

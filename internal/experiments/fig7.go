@@ -23,6 +23,9 @@ type Fig7Options struct {
 	// Workers bounds concurrent trial simulations across all K cells
 	// (0 = GOMAXPROCS). The curves are identical for any value.
 	Workers int
+	// Progress, when non-nil, is invoked once per completed K cell; must be
+	// safe for concurrent use.
+	Progress func(cell string)
 }
 
 // DefaultFig7Options returns the paper's configuration (with fewer trials
@@ -83,6 +86,7 @@ func Fig7(opts Fig7Options) (*Fig7Result, error) {
 			OCRCDF:  metrics.NewCDF(ocrs),
 			ATPCDF:  metrics.NewCDF(atps),
 		}
+		reportProgress(opts.Progress, "fig7 K=%d", opts.KValues[ki])
 		return nil
 	})
 	if err != nil {

@@ -22,6 +22,9 @@ type Fig8Options struct {
 	// Workers bounds concurrent trial simulations across all M cells
 	// (0 = GOMAXPROCS). The curves are identical for any value.
 	Workers int
+	// Progress, when non-nil, is invoked once per completed M cell; must be
+	// safe for concurrent use.
+	Progress func(cell string)
 }
 
 // DefaultFig8Options returns the paper's configuration.
@@ -81,6 +84,7 @@ func Fig8(opts Fig8Options) (*Fig8Result, error) {
 			OCRCDF:  metrics.NewCDF(ocrs),
 			ATPCDF:  metrics.NewCDF(atps),
 		}
+		reportProgress(opts.Progress, "fig8 M=%d", opts.MValues[mi])
 		return nil
 	})
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"mmv2v/internal/baseline"
 	"mmv2v/internal/core"
 	"mmv2v/internal/metrics"
+	"mmv2v/internal/obs"
 	"mmv2v/internal/sim"
 )
 
@@ -24,6 +25,14 @@ type Fig9Options struct {
 	// Workers bounds concurrent trial simulations across all cells
 	// (0 = GOMAXPROCS). The tables are identical for any value.
 	Workers int
+	// Stats enables per-cell layer statistics: each cell's pooled
+	// obs.Registry lands in its Fig9Cell and StatsRows exports the whole
+	// grid. Off (the default), cells carry a nil registry at zero cost.
+	Stats bool
+	// Progress, when non-nil, is invoked once per completed (density,
+	// protocol) cell with a short label. Cells complete on concurrent
+	// goroutines, so the callback must be safe for concurrent use.
+	Progress func(cell string)
 }
 
 // DefaultFig9Options returns the paper's configuration (densities 15–30
@@ -42,6 +51,8 @@ type Fig9Cell struct {
 	Summary  metrics.Summary
 	// OCRCI95 is the half-width of the 95 % CI over per-vehicle OCR.
 	OCRCI95 float64
+	// Obs is the cell's pooled layer statistics (nil unless Options.Stats).
+	Obs *obs.Registry
 }
 
 // Fig9Row is one density's measurements.
@@ -82,6 +93,7 @@ func Fig9(opts Fig9Options) (*Fig9Result, error) {
 	err := sim.Gather(len(cells), func(k int) error {
 		di, fi := k/nf, k%nf
 		cfg := scenario(opts.Densities[di], opts.Seed)
+		cfg.Stats = opts.Stats
 		pooled, err := runner.RunTrials(cfg, factories[fi], opts.Trials)
 		if err != nil {
 			return err
@@ -91,8 +103,9 @@ func Fig9(opts Fig9Options) (*Fig9Result, error) {
 			ocrs = append(ocrs, st.OCR)
 		}
 		_, ci := metrics.MeanCI95(ocrs)
-		cells[k] = Fig9Cell{Protocol: pooled.Protocol, Summary: pooled.Summary, OCRCI95: ci}
+		cells[k] = Fig9Cell{Protocol: pooled.Protocol, Summary: pooled.Summary, OCRCI95: ci, Obs: pooled.Obs}
 		avgN[k] = pooled.AvgNeighbors
+		reportProgress(opts.Progress, "fig9 density=%g %s", opts.Densities[di], pooled.Protocol)
 		return nil
 	})
 	if err != nil {
@@ -128,6 +141,21 @@ func (r *Fig9Result) Get(density float64, protocol string) (metrics.Summary, boo
 		}
 	}
 	return metrics.Summary{}, false
+}
+
+// StatsRows exports every cell's layer statistics (when the run had
+// Options.Stats), each row scoped "fig9/density=<d>/<protocol>", sorted by
+// (scope, name, kind). Nil-Obs cells contribute nothing.
+func (r *Fig9Result) StatsRows() []obs.Row {
+	var rows []obs.Row
+	for _, row := range r.Rows {
+		for _, c := range row.Cells {
+			scope := fmt.Sprintf("fig9/density=%g/%s", row.DensityVPL, c.Protocol)
+			rows = append(rows, c.Obs.Rows(scope)...)
+		}
+	}
+	obs.SortRows(rows)
+	return rows
 }
 
 // WriteTable prints the three sub-figures (a) OCR, (b) ATP, (c) DTP as

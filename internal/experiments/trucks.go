@@ -25,6 +25,9 @@ type TrucksOptions struct {
 	// Workers bounds concurrent trial simulations across all cells
 	// (0 = GOMAXPROCS). The table is identical for any value.
 	Workers int
+	// Progress, when non-nil, is invoked once per completed (fraction,
+	// protocol) cell; must be safe for concurrent use.
+	Progress func(cell string)
 }
 
 // DefaultTrucksOptions returns the standard sweep.
@@ -79,6 +82,7 @@ func Trucks(opts TrucksOptions) (*TrucksResult, error) {
 		}
 		cells[k] = Fig9Cell{Protocol: pooled.Protocol, Summary: pooled.Summary}
 		avgN[k] = pooled.AvgNeighbors
+		reportProgress(opts.Progress, "trucks fraction=%g %s", opts.Fractions[fr], pooled.Protocol)
 		return nil
 	})
 	if err != nil {

@@ -22,6 +22,9 @@ type WarmupOptions struct {
 	// Workers bounds concurrent trial simulations (0 = GOMAXPROCS). The
 	// table is identical for any value.
 	Workers int
+	// Progress, when non-nil, is invoked once per completed trial; must be
+	// safe for concurrent use.
+	Progress func(cell string)
 }
 
 // DefaultWarmupOptions returns the standard setting.
@@ -55,6 +58,9 @@ func Warmup(opts WarmupOptions) (*WarmupResult, error) {
 		cfg.Windows = opts.Windows
 		res, err := sim.Run(cfg, core.Factory(core.DefaultParams()))
 		results[trial] = res
+		if err == nil {
+			reportProgress(opts.Progress, "warmup trial=%d", trial)
+		}
 		return err
 	})
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mmv2v/internal/des"
+	"mmv2v/internal/obs"
 	"mmv2v/internal/xrand"
 )
 
@@ -75,6 +76,20 @@ type Injector struct {
 	DroppedFrames uint64
 	// BlockedTicks counts pair-tick evaluations that landed inside a burst.
 	BlockedTicks uint64
+
+	// Statistics handles (nil-safe no-ops until SetObs installs a live
+	// registry).
+	obsDrops       *obs.Counter
+	obsBlocked     *obs.Counter
+	obsTransitions *obs.Counter
+}
+
+// SetObs installs the statistics registry. A nil registry (the default)
+// hands out nil handles, so every fault evaluation stays a no-op.
+func (f *Injector) SetObs(r *obs.Registry) {
+	f.obsDrops = r.Counter("faults.control_drops")
+	f.obsBlocked = r.Counter("faults.blocked_ticks")
+	f.obsTransitions = r.Counter("faults.radio_transitions")
 }
 
 // NewInjector builds an Injector for a trial. The seed should be derived
@@ -132,6 +147,7 @@ func (f *Injector) LinkFactorLin(a, b int) float64 {
 	}
 	if st.blocked {
 		f.BlockedTicks++
+		f.obsBlocked.Inc()
 		return f.attenLin
 	}
 	return 1
@@ -153,6 +169,7 @@ func (f *Injector) RadioUp(i int, at des.Time) bool {
 	for at >= st.end {
 		st.k++
 		st.up = !st.up
+		f.obsTransitions.Inc()
 		mean := f.cfg.RadioMeanUpSec
 		if !st.up {
 			mean = f.cfg.RadioMeanDownSec
@@ -178,6 +195,7 @@ func (f *Injector) DropControl(from, to int, at des.Time) bool {
 	}
 	if unit(f.seed, opDrop, uint64(from), uint64(to), uint64(at)) < f.cfg.ControlLossP {
 		f.DroppedFrames++
+		f.obsDrops.Inc()
 		return true
 	}
 	return false

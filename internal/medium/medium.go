@@ -23,6 +23,7 @@ import (
 
 	"mmv2v/internal/channel"
 	"mmv2v/internal/des"
+	"mmv2v/internal/obs"
 	"mmv2v/internal/phy"
 	"mmv2v/internal/world"
 )
@@ -113,10 +114,34 @@ type Medium struct {
 	// the transmitter's radio was down (diagnostics).
 	FaultLost    uint64
 	FaultMutedTx uint64
+
+	// Statistics handles (nil-safe no-ops until SetObs installs a live
+	// registry).
+	obsControlTx     *obs.Counter
+	obsControlDeliv  *obs.Counter
+	obsControlLost   *obs.Counter
+	obsControlFault  *obs.Counter
+	obsFaultMuted    *obs.Counter
+	obsRxAims        *obs.Counter
+	obsStreamStarts  *obs.Counter
+	obsControlSINRdB *obs.Histogram
 }
 
 // SetFaults installs a fault model; nil restores the clean channel.
 func (m *Medium) SetFaults(f FaultModel) { m.faults = f }
+
+// SetObs installs the statistics registry. A nil registry (the default)
+// hands out nil handles, so every instrumented path stays a no-op.
+func (m *Medium) SetObs(r *obs.Registry) {
+	m.obsControlTx = r.Counter("medium.control_tx")
+	m.obsControlDeliv = r.Counter("medium.control_delivered")
+	m.obsControlLost = r.Counter("medium.control_lost_sinr")
+	m.obsControlFault = r.Counter("medium.control_fault_lost")
+	m.obsFaultMuted = r.Counter("medium.fault_muted_tx")
+	m.obsRxAims = r.Counter("medium.rx_beam_aims")
+	m.obsStreamStarts = r.Counter("medium.stream_starts")
+	m.obsControlSINRdB = r.Histogram("medium.control_sinr_db", obs.LinearBuckets(-10, 5, 9))
+}
 
 // New builds a Medium over a world and simulator.
 func New(sim *des.Simulator, w *world.World) *Medium {
@@ -137,6 +162,7 @@ func (m *Medium) StartListen(i int, beam phy.Beam, h Handler) {
 		panic(fmt.Sprintf("medium: nil handler for listener %d", i))
 	}
 	m.listeners[i] = listener{beam: beam, since: m.sim.Now(), handler: h, active: true}
+	m.obsRxAims.Inc()
 }
 
 // StopListen clears vehicle i's receive state.
@@ -160,6 +186,7 @@ func (m *Medium) Transmit(from int, beam phy.Beam, dur time.Duration, payload an
 	if m.faults != nil {
 		if !m.faults.RadioUp(from, now) {
 			m.FaultMutedTx++
+			m.obsFaultMuted.Inc()
 			return
 		}
 		start = now.Add(m.faults.TxDelay(from, now))
@@ -174,6 +201,7 @@ func (m *Medium) Transmit(from int, beam phy.Beam, dur time.Duration, payload an
 	}
 	m.nextID++
 	m.active = append(m.active, tx)
+	m.obsControlTx.Inc()
 	if !m.resolveAt[tx.end] {
 		m.resolveAt[tx.end] = true
 		m.sim.ScheduleAt(tx.end, "medium.resolve", m.resolve)
@@ -194,6 +222,7 @@ func (m *Medium) StartStream(from int, beam phy.Beam) StreamID {
 	}
 	m.nextID++
 	m.active = append(m.active, tx)
+	m.obsStreamStarts.Inc()
 	return StreamID(tx.id)
 }
 
@@ -308,12 +337,15 @@ func (m *Medium) deliverGroup(group []*transmission) {
 				continue
 			}
 			sinr := channel.DB(desired / (noise + (total - desired)))
+			m.obsControlSINRdB.Observe(sinr)
 			if phy.ControlDecodable(sinr) {
 				if m.faults != nil && m.faults.DropControl(g.from, j, now) {
 					m.FaultLost++
+					m.obsControlFault.Inc()
 					continue
 				}
 				m.Delivered++
+				m.obsControlDeliv.Inc()
 				// Handler may re-aim or stop the listener; re-check.
 				h := l.handler
 				h(Delivery{
@@ -331,6 +363,7 @@ func (m *Medium) deliverGroup(group []*transmission) {
 				// Near-miss: an aligned listener lost a decodable-class
 				// frame to interference or blockage.
 				m.Lost++
+				m.obsControlLost.Inc()
 			}
 		}
 	}

@@ -1,0 +1,71 @@
+package obs_test
+
+import (
+	"testing"
+
+	"mmv2v/internal/obs"
+)
+
+// The nil-handle benchmarks pin the "zero-cost when disabled" contract: with
+// statistics off, every instrumented hot path pays one predictable branch.
+// CI runs these once as a smoke check (see .github/workflows/ci.yml).
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var r *obs.Registry
+	c := r.Counter("hot.path")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkNilGaugeObserve(b *testing.B) {
+	var r *obs.Registry
+	g := r.Gauge("hot.path")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Observe(float64(i))
+	}
+}
+
+func BenchmarkNilHistogramObserve(b *testing.B) {
+	var r *obs.Registry
+	h := r.Histogram("hot.path", []float64{1, 2, 3})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := obs.New().Counter("hot.path")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := obs.New().Histogram("hot.path", obs.ExpBuckets(16, 2, 11))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 1023))
+	}
+}
+
+func BenchmarkRegistryMerge(b *testing.B) {
+	parts := make([]*obs.Registry, 8)
+	for tr := range parts {
+		r := obs.New()
+		for k := 0; k < 16; k++ {
+			r.Counter("ctr").Add(uint64(k))
+			r.Gauge("gauge").Observe(float64(k))
+			r.Histogram("hist", []float64{4, 8, 12}).Observe(float64(k))
+		}
+		parts[tr] = r
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		obs.Merge(parts)
+	}
+}

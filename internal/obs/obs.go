@@ -1,0 +1,289 @@
+// Package obs is the simulator's deterministic, allocation-light statistics
+// registry: named counters, gauges and fixed-bucket histograms that layers
+// (medium, world, faults, protocols, UDT) update through pre-fetched handles
+// on their hot paths.
+//
+// Two invariants shape the design:
+//
+//   - Zero-cost when disabled. A nil *Registry hands out nil handles, and
+//     every handle method no-ops on a nil receiver with a single predictable
+//     branch — no map lookup, no allocation, no atomic. Instrumented hot
+//     paths (world refresh, frame delivery, UDT accrual) run at seed speed
+//     when statistics are off.
+//
+//   - Deterministic merge. One Registry serves one trial (the DES is
+//     single-threaded, so handles need no synchronization); the parallel
+//     trial runner merges per-trial registries in slot (= trial) order,
+//     exactly like metrics.Merge. Counters and bucket counts are integers
+//     (order-free); float sums are reduced in slot order, so the pooled
+//     registry — and everything rendered from it — is bit-identical for any
+//     worker count.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready; a nil *Counter ignores every update (the disabled-stats fast path).
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) {
+	if c == nil {
+		return
+	}
+	c.n += delta
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Gauge summarizes a stream of observations with order-free aggregates:
+// count, sum, min and max. (Sums of observations merge deterministically in
+// slot order; min/max are fully commutative.) A nil *Gauge ignores every
+// observation.
+type Gauge struct {
+	count uint64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+// Observe records one sample. Non-finite samples (NaN, ±Inf) are dropped:
+// they would poison the aggregates and cannot be JSON-encoded.
+func (g *Gauge) Observe(x float64) {
+	if g == nil || math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
+	if g.count == 0 || x < g.min {
+		g.min = x
+	}
+	if g.count == 0 || x > g.max {
+		g.max = x
+	}
+	g.count++
+	g.sum += x
+}
+
+// Count returns the number of recorded samples.
+func (g *Gauge) Count() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.count
+}
+
+// Sum returns the sum of recorded samples.
+func (g *Gauge) Sum() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.sum
+}
+
+// Histogram counts observations into fixed upper-bound buckets: sample x
+// lands in the first bucket with x <= bound, and above the last bound in the
+// implicit overflow bucket. Bounds are fixed at creation, so per-trial
+// histograms of the same metric always merge bucket-by-bucket. A nil
+// *Histogram ignores every observation.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last = overflow
+	count  uint64
+	sum    float64
+}
+
+// Observe records one sample. NaN is dropped; ±Inf is bucketed (first bucket
+// for -Inf, overflow for +Inf) but excluded from the sum so exports stay
+// JSON-encodable.
+func (h *Histogram) Observe(x float64) {
+	if h == nil || math.IsNaN(x) {
+		return
+	}
+	k := sort.SearchFloat64s(h.bounds, x)
+	h.counts[k]++
+	h.count++
+	if !math.IsInf(x, 0) {
+		h.sum += x
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// LinearBuckets returns count upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// ExpBuckets returns count upper bounds start, start·factor, start·factor², ...
+func ExpBuckets(start, factor float64, count int) []float64 {
+	out := make([]float64, count)
+	x := start
+	for i := range out {
+		out[i] = x
+		x *= factor
+	}
+	return out
+}
+
+// Registry holds one trial's named metrics. Create with New; a nil
+// *Registry is the valid "statistics disabled" registry: every accessor
+// returns a nil handle and every export is empty.
+//
+// A Registry is not safe for concurrent use — the DES is single-threaded,
+// and the trial runner gives every trial its own Registry, merging them
+// afterwards with Merge.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given sorted
+// upper bounds on first use. Later calls return the existing histogram and
+// ignore bounds: the first registration fixes the schema. Panics on empty or
+// unsorted bounds (programmer error).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h != nil {
+		return h
+	}
+	if len(bounds) == 0 || !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q needs non-empty sorted bounds, got %v", name, bounds))
+	}
+	h = &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// merge folds another registry into r. Gauge and histogram float sums
+// accumulate in call order, so callers must fold parts in a fixed order
+// (Merge folds in slot order).
+func (r *Registry) merge(other *Registry) {
+	//mmv2v:sorted integer counter accumulation into a keyed map; commutative
+	for name, c := range other.counters {
+		r.Counter(name).n += c.n
+	}
+	//mmv2v:sorted per-name gauge fold; cross-name order is irrelevant because every name's partial sums still fold in the caller's slot order
+	for name, g := range other.gauges {
+		dst := r.Gauge(name)
+		if g.count == 0 {
+			continue
+		}
+		if dst.count == 0 || g.min < dst.min {
+			dst.min = g.min
+		}
+		if dst.count == 0 || g.max > dst.max {
+			dst.max = g.max
+		}
+		dst.count += g.count
+		dst.sum += g.sum
+	}
+	//mmv2v:sorted per-name histogram fold; cross-name order is irrelevant because every name's partial sums still fold in the caller's slot order
+	for name, h := range other.hists {
+		dst := r.hists[name]
+		if dst == nil {
+			dst = r.Histogram(name, h.bounds)
+		}
+		if len(dst.bounds) != len(h.bounds) {
+			panic(fmt.Sprintf("obs: histogram %q bucket schema mismatch (%d vs %d bounds)",
+				name, len(dst.bounds), len(h.bounds)))
+		}
+		for k, n := range h.counts {
+			dst.counts[k] += n
+		}
+		dst.count += h.count
+		dst.sum += h.sum
+	}
+}
+
+// Merge pools per-trial registries in slot (= trial) order, skipping nil
+// slots (failed trials, or runs without statistics). It returns nil when
+// every part is nil, so "statistics disabled" propagates through the trial
+// runner unchanged. Like metrics.Merge, the result depends only on slot
+// contents and order — never on which trial finished first — making pooled
+// statistics bit-identical for any worker count.
+func Merge(parts []*Registry) *Registry {
+	var out *Registry
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = New()
+		}
+		out.merge(p)
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package obs_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mmv2v/internal/obs"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := obs.New()
+	c := r.Counter("layer.events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("layer.events") != c {
+		t.Fatal("same name should return the same counter handle")
+	}
+
+	g := r.Gauge("layer.dt")
+	g.Observe(2)
+	g.Observe(-1)
+	g.Observe(5)
+	if g.Count() != 3 || g.Sum() != 6 {
+		t.Fatalf("gauge count/sum = %d/%v, want 3/6", g.Count(), g.Sum())
+	}
+
+	h := r.Histogram("layer.sizes", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(10)
+	h.Observe(11)
+	rows := r.Rows("")
+	var hist obs.Row
+	for _, row := range rows {
+		if row.Kind == obs.KindHistogram {
+			hist = row
+		}
+	}
+	want := []obs.BucketCount{{LE: "1", N: 1}, {LE: "10", N: 1}, {LE: "+Inf", N: 1}}
+	if !reflect.DeepEqual(hist.Buckets, want) {
+		t.Fatalf("buckets = %v, want %v", hist.Buckets, want)
+	}
+	if hist.Count != 3 || hist.Sum != 21.5 {
+		t.Fatalf("hist count/sum = %d/%v, want 3/21.5", hist.Count, hist.Sum)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := obs.New()
+	h := r.Histogram("h", []float64{0, 10, 20})
+	// Exact bounds land in their own bucket (<= semantics).
+	h.Observe(0)
+	h.Observe(10)
+	h.Observe(20)
+	// Strictly above the last bound overflows.
+	h.Observe(20.5)
+	// NaN is dropped entirely; ±Inf is bucketed but excluded from the sum.
+	h.Observe(nan())
+	h.Observe(inf(1))
+	h.Observe(inf(-1))
+	rows := r.Rows("")
+	got := rows[0]
+	want := []obs.BucketCount{
+		{LE: "0", N: 2},    // 0 and -Inf
+		{LE: "10", N: 1},   // 10
+		{LE: "20", N: 1},   // 20
+		{LE: "+Inf", N: 2}, // 20.5 and +Inf
+	}
+	if !reflect.DeepEqual(got.Buckets, want) {
+		t.Fatalf("buckets = %v, want %v", got.Buckets, want)
+	}
+	if got.Count != 6 {
+		t.Fatalf("count = %d, want 6 (NaN dropped)", got.Count)
+	}
+	if got.Sum != 50.5 {
+		t.Fatalf("sum = %v, want 50.5 (±Inf excluded)", got.Sum)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds should panic")
+		}
+	}()
+	obs.New().Histogram("bad", []float64{5, 1})
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *obs.Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should stay 0")
+	}
+	g := r.Gauge("y")
+	g.Observe(3)
+	if g.Count() != 0 || g.Sum() != 0 {
+		t.Fatal("nil gauge should stay empty")
+	}
+	h := r.Histogram("z", []float64{1})
+	h.Observe(3)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram should stay empty")
+	}
+	if rows := r.Rows("scope"); rows != nil {
+		t.Fatalf("nil registry rows = %v, want nil", rows)
+	}
+	if merged := obs.Merge([]*obs.Registry{nil, nil}); merged != nil {
+		t.Fatal("merging all-nil parts should stay nil")
+	}
+}
+
+// trialRegistry builds a deterministic per-trial registry keyed by the trial
+// index, with integer-valued floats so sums are exact under any fold order.
+func trialRegistry(trial int) *obs.Registry {
+	r := obs.New()
+	r.Counter("ctr.a").Add(uint64(trial + 1))
+	r.Counter("ctr.b").Add(uint64(2 * trial))
+	g := r.Gauge("gauge.x")
+	for k := 0; k <= trial; k++ {
+		g.Observe(float64(trial - 2*k))
+	}
+	h := r.Histogram("hist.y", []float64{2, 8})
+	for k := 0; k < 3; k++ {
+		h.Observe(float64(trial * k))
+	}
+	return r
+}
+
+func TestMergeSlotOrderInvariance(t *testing.T) {
+	// Slot-per-trial semantics: registries constructed in any order merge
+	// identically as long as they land in the same slots.
+	const trials = 6
+	forward := make([]*obs.Registry, trials)
+	for tr := 0; tr < trials; tr++ {
+		forward[tr] = trialRegistry(tr)
+	}
+	backward := make([]*obs.Registry, trials)
+	for tr := trials - 1; tr >= 0; tr-- {
+		backward[tr] = trialRegistry(tr)
+	}
+	a := obs.Merge(forward).Rows("")
+	b := obs.Merge(backward).Rows("")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("construction order changed the merge:\n%v\nvs\n%v", a, b)
+	}
+}
+
+func TestMergeAssociativityAndCommutativity(t *testing.T) {
+	x, y, z := trialRegistry(0), trialRegistry(1), trialRegistry(2)
+	all := obs.Merge([]*obs.Registry{x, y, z}).Rows("")
+	// Associativity: (x⊕y)⊕z == x⊕y⊕z.
+	xy := obs.Merge([]*obs.Registry{trialRegistry(0), trialRegistry(1)})
+	nested := obs.Merge([]*obs.Registry{xy, trialRegistry(2)}).Rows("")
+	if !reflect.DeepEqual(all, nested) {
+		t.Fatalf("merge is not associative:\n%v\nvs\n%v", all, nested)
+	}
+	// Commutativity holds for these integer-valued metrics (exact float
+	// sums), which is what lets failed-trial slots drop out cleanly.
+	rev := obs.Merge([]*obs.Registry{trialRegistry(2), trialRegistry(1), trialRegistry(0)}).Rows("")
+	if !reflect.DeepEqual(all, rev) {
+		t.Fatalf("merge of integer-valued parts is not commutative:\n%v\nvs\n%v", all, rev)
+	}
+	// Nil slots (failed trials) are skipped, not zero-merged.
+	withNil := obs.Merge([]*obs.Registry{trialRegistry(0), nil, trialRegistry(1), trialRegistry(2)}).Rows("")
+	if !reflect.DeepEqual(all, withNil) {
+		t.Fatalf("nil slot changed the merge:\n%v\nvs\n%v", all, withNil)
+	}
+}
+
+func TestGoldenJSONL(t *testing.T) {
+	r := obs.New()
+	r.Counter("snd.ssw_tx").Add(144)
+	g := r.Gauge("udt.airtime_sec.mcs12")
+	g.Observe(0.25)
+	g.Observe(0.5)
+	h := r.Histogram("world.refresh_links", []float64{16, 64})
+	h.Observe(12)
+	h.Observe(80)
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, r.Rows("fig9/density=15/mmV2V")); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`{"scope":"fig9/density=15/mmV2V","name":"snd.ssw_tx","kind":"counter","count":144,"sum":0,"min":0,"max":0}`,
+		`{"scope":"fig9/density=15/mmV2V","name":"udt.airtime_sec.mcs12","kind":"gauge","count":2,"sum":0.75,"min":0.25,"max":0.5}`,
+		`{"scope":"fig9/density=15/mmV2V","name":"world.refresh_links","kind":"histogram","count":2,"sum":92,"min":0,"max":0,"buckets":[{"le":"16","n":1},{"le":"64","n":0},{"le":"+Inf","n":1}]}`,
+	}, "\n") + "\n"
+	if buf.String() != want {
+		t.Fatalf("golden JSONL mismatch:\ngot:\n%swant:\n%s", buf.String(), want)
+	}
+}
+
+func TestWriteCSVDeterministic(t *testing.T) {
+	rows := obs.Merge([]*obs.Registry{trialRegistry(0), trialRegistry(1)}).Rows("cell")
+	var a, b bytes.Buffer
+	if err := obs.WriteCSV(&a, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("CSV rendering is not deterministic")
+	}
+	if !strings.HasPrefix(a.String(), "scope,name,kind,count,sum,min,max,buckets\n") {
+		t.Fatalf("missing CSV header:\n%s", a.String())
+	}
+}
+
+func TestWriteSummaryCoversKinds(t *testing.T) {
+	rows := trialRegistry(3).Rows("")
+	var buf bytes.Buffer
+	obs.WriteSummary(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"ctr.a", "gauge.x", "hist.y", "buckets:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	var empty bytes.Buffer
+	obs.WriteSummary(&empty, nil)
+	if !strings.Contains(empty.String(), "no statistics recorded") {
+		t.Fatalf("empty summary = %q", empty.String())
+	}
+}
+
+func TestSortRowsPoolsScopes(t *testing.T) {
+	a := trialRegistry(1).Rows("b-scope")
+	b := trialRegistry(2).Rows("a-scope")
+	pooled := append(append([]obs.Row{}, a...), b...)
+	obs.SortRows(pooled)
+	if pooled[0].Scope != "a-scope" {
+		t.Fatalf("first scope = %q, want a-scope", pooled[0].Scope)
+	}
+	for i := 1; i < len(pooled); i++ {
+		if pooled[i].Scope < pooled[i-1].Scope {
+			t.Fatal("rows not sorted by scope")
+		}
+	}
+}
+
+// nan/inf avoid untyped-constant tricks in test bodies.
+func nan() float64 { return inf(1) - inf(1) }
+
+func inf(sign int) float64 {
+	x := 0.0
+	if sign >= 0 {
+		return 1 / x
+	}
+	return -1 / x
+}

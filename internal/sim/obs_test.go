@@ -1,0 +1,115 @@
+package sim_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mmv2v/internal/obs"
+	"mmv2v/internal/sim"
+	"mmv2v/internal/trace"
+)
+
+// TestRunTrialsTraceIdenticalAcrossWorkers pins the parallel-trace contract:
+// traced pooled runs use every worker, and the replayed event stream —
+// trial-stamped, trial-major — is identical for any worker count.
+func TestRunTrialsTraceIdenticalAcrossWorkers(t *testing.T) {
+	const trials = 4
+	run := func(workers int) []trace.Event {
+		cfg := sim.DefaultConfig(10, 21)
+		cfg.WindowSec = 0.1
+		cfg.Workers = workers
+		cap := trace.NewCapture()
+		cfg.Trace = trace.New(cap)
+		if _, err := sim.RunTrials(cfg, greedyFactory(), trials); err != nil {
+			t.Fatal(err)
+		}
+		return cap.Events()
+	}
+	one := run(1)
+	eight := run(8)
+	if len(one) == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	if !reflect.DeepEqual(one, eight) {
+		t.Fatalf("trace streams differ: %d events with 1 worker, %d with 8", len(one), len(eight))
+	}
+	// The replay stamps trial indices and orders trial-major.
+	seenLast := -1
+	for _, e := range one {
+		if e.Trial < seenLast {
+			t.Fatalf("trial order regressed: %d after %d", e.Trial, seenLast)
+		}
+		seenLast = e.Trial
+	}
+	if seenLast == 0 {
+		t.Fatal("all events stamped trial 0; expected events from later trials")
+	}
+}
+
+// TestRunTrialsStatsIdenticalAcrossWorkers pins the stats-merge contract:
+// the pooled registry's export is byte-identical for any worker count.
+func TestRunTrialsStatsIdenticalAcrossWorkers(t *testing.T) {
+	const trials = 4
+	run := func(workers int) []byte {
+		cfg := sim.DefaultConfig(10, 22)
+		cfg.WindowSec = 0.1
+		cfg.Workers = workers
+		cfg.Stats = true
+		res, err := sim.RunTrials(cfg, greedyFactory(), trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Obs == nil {
+			t.Fatal("Stats run returned nil Obs")
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteJSONL(&buf, res.Obs.Rows("test")); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	one := run(1)
+	eight := run(8)
+	if len(one) == 0 {
+		t.Fatal("stats run exported no rows")
+	}
+	if !bytes.Equal(one, eight) {
+		t.Fatalf("stats exports differ:\nworkers=1:\n%s\nworkers=8:\n%s", one, eight)
+	}
+}
+
+// TestStatsOffKeepsObsNil pins the zero-cost default: without Config.Stats
+// the result carries no registry and layers hold nil handles.
+func TestStatsOffKeepsObsNil(t *testing.T) {
+	cfg := sim.DefaultConfig(5, 23)
+	cfg.WindowSec = 0.1
+	res, err := sim.Run(cfg, greedyFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs != nil {
+		t.Fatal("Obs should be nil when Stats is off")
+	}
+}
+
+// TestStatsRecordLayerActivity checks a Stats run actually populates the
+// world- and data-plane metrics the greedy test protocol exercises.
+func TestStatsRecordLayerActivity(t *testing.T) {
+	cfg := sim.DefaultConfig(10, 24)
+	cfg.WindowSec = 0.1
+	cfg.Stats = true
+	res, err := sim.Run(cfg, greedyFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs == nil {
+		t.Fatal("Stats run returned nil Obs")
+	}
+	if n := res.Obs.Counter("world.refreshes").Value(); n == 0 {
+		t.Error("world.refreshes = 0, want > 0")
+	}
+	if n := res.Obs.Counter("medium.stream_starts").Value(); n == 0 {
+		t.Error("medium.stream_starts = 0, want > 0")
+	}
+}

@@ -23,6 +23,8 @@ import (
 	"sync"
 
 	"mmv2v/internal/metrics"
+	"mmv2v/internal/obs"
+	"mmv2v/internal/trace"
 	"mmv2v/internal/xrand"
 )
 
@@ -94,8 +96,11 @@ func Gather(n int, job func(i int) error) error {
 // the pooled Result is bit-identical for any worker count — and to the
 // serial loop this engine replaced. cfg.Workers is ignored here: the
 // receiver's bound governs, so experiment grids sharing one Runner get one
-// global concurrency budget. When cfg.Trace is set, trials run on a single
-// worker so the recorded event stream keeps a deterministic order.
+// global concurrency budget. When cfg.Trace is set, every trial records
+// into its own private capture and the captures replay into cfg.Trace in
+// trial order after the pool drains, each event stamped with its trial
+// index — so traced runs use every worker and still emit a deterministic
+// stream.
 //
 // Each trial is crash-isolated: a panicking or erroring trial is re-run up
 // to cfg.Retry times, and if it still fails it becomes a TrialError in
@@ -106,15 +111,12 @@ func (r *Runner) RunTrials(cfg Config, factory Factory, trials int) (*Result, er
 	if trials <= 0 {
 		return nil, fmt.Errorf("sim: non-positive trial count %d", trials)
 	}
-	pool := r
-	if cfg.Trace != nil && r.workers > 1 {
-		pool = NewRunner(1)
-	}
 	results := make([]*Result, trials)
 	failures := make([]*TrialError, trials)
+	captures := make([]*trace.Capture, trials)
 	var retriedMu sync.Mutex
 	retried := 0
-	_ = pool.Do(trials, func(tr int) error {
+	_ = r.Do(trials, func(tr int) error {
 		c := cfg
 		c.Seed = xrand.Mix(cfg.Seed, uint64(tr))
 		var res *Result
@@ -125,8 +127,17 @@ func (r *Runner) RunTrials(cfg Config, factory Factory, trials int) (*Result, er
 				retried++
 				retriedMu.Unlock()
 			}
+			// Each attempt traces into a fresh private capture so a
+			// retried crash leaves no partial events behind; only the
+			// succeeding attempt's capture is kept for replay.
+			var cp *trace.Capture
+			if cfg.Trace != nil {
+				cp = trace.NewCapture()
+				c.Trace = trace.New(cp)
+			}
 			res, err = runIsolated(c, factory)
 			if err == nil {
+				captures[tr] = cp
 				break
 			}
 		}
@@ -150,6 +161,19 @@ func (r *Runner) RunTrials(cfg Config, factory Factory, trials int) (*Result, er
 		results[tr] = res
 		return nil
 	})
+	if cfg.Trace != nil {
+		// Replay trial-major: slot order is deterministic for any worker
+		// count, so the merged stream matches a serial traced run.
+		for tr, cp := range captures {
+			if cp == nil {
+				continue
+			}
+			for _, e := range cp.Events() {
+				e.Trial = tr
+				cfg.Trace.Emit(e)
+			}
+		}
+	}
 	pooled := mergeTrials(results)
 	pooled.Retried = retried
 	for _, f := range failures {
@@ -172,6 +196,7 @@ func (r *Runner) RunTrials(cfg Config, factory Factory, trials int) (*Result, er
 func mergeTrials(results []*Result) *Result {
 	pooled := &Result{}
 	parts := make([][]metrics.VehicleStats, 0, len(results))
+	regs := make([]*obs.Registry, 0, len(results))
 	for _, r := range results {
 		if r == nil {
 			continue
@@ -179,6 +204,7 @@ func mergeTrials(results []*Result) *Result {
 		pooled.Protocol = r.Protocol
 		pooled.Windows = append(pooled.Windows, r.Windows...)
 		parts = append(parts, r.Stats)
+		regs = append(regs, r.Obs)
 		pooled.AvgNeighbors += r.AvgNeighbors
 		pooled.LatencySumSec += r.LatencySumSec
 		pooled.LatencyPairs += r.LatencyPairs
@@ -186,6 +212,7 @@ func mergeTrials(results []*Result) *Result {
 		pooled.Trials++
 	}
 	pooled.Stats, pooled.Summary = metrics.Merge(parts)
+	pooled.Obs = obs.Merge(regs)
 	if pooled.Trials > 0 {
 		pooled.AvgNeighbors /= float64(pooled.Trials)
 	}

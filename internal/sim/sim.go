@@ -18,6 +18,7 @@ import (
 	"mmv2v/internal/faults"
 	"mmv2v/internal/medium"
 	"mmv2v/internal/metrics"
+	"mmv2v/internal/obs"
 	"mmv2v/internal/phy"
 	"mmv2v/internal/trace"
 	"mmv2v/internal/traffic"
@@ -49,8 +50,8 @@ type Config struct {
 	// Workers bounds how many trials RunTrials executes concurrently; 0 (the
 	// default) uses runtime.GOMAXPROCS(0). Every trial gets its own road,
 	// world and RNG streams and results merge in trial order, so the pooled
-	// output is bit-identical for any worker count. Runs with a Trace
-	// recorder fall back to one worker so the event stream stays ordered.
+	// output — metrics, statistics and the trace stream — is bit-identical
+	// for any worker count.
 	Workers int
 	// Faults, when non-nil and enabled, injects deterministic channel and
 	// radio faults — control-frame loss, transient blockage bursts, radio
@@ -63,8 +64,15 @@ type Config struct {
 	Retry int
 	// Trace, when non-nil, receives structured protocol events
 	// (discoveries, matches, streams, completions). Nil disables tracing
-	// at zero cost.
+	// at zero cost. Pooled runs replay per-trial captures into this
+	// recorder in trial order, each event stamped with its trial index.
 	Trace *trace.Recorder
+	// Stats, when true, gives every trial an obs.Registry recording
+	// per-layer statistics (control frames, collisions, per-MCS airtime,
+	// beam switches, refresh sizes, fault events, matches/break-ups);
+	// pooled registries merge in trial order into Result.Obs. False (the
+	// default) keeps every instrumented hot path a zero-cost no-op.
+	Stats bool
 }
 
 // DefaultConfig returns the paper's scenario at a given traffic density
@@ -133,6 +141,9 @@ type Env struct {
 	DemandBits float64
 	// Trace receives protocol events; nil (the default) is a valid no-op.
 	Trace *trace.Recorder
+	// Obs is the trial's statistics registry; nil (the default) hands out
+	// nil handles, making every instrumented path a no-op.
+	Obs *obs.Registry
 
 	refreshHooks []func()
 }
@@ -212,6 +223,9 @@ type Result struct {
 	// order). Both are zero/nil for a single Run.
 	Retried  int
 	Failures []*TrialError
+	// Obs carries the run's layer statistics when Config.Stats was set
+	// (pooled in trial order for a RunTrials result); nil otherwise.
+	Obs *obs.Registry
 }
 
 // MeanLatencySec returns the pooled mean time-to-first-exchange in seconds,
@@ -266,6 +280,13 @@ func NewEnvWithWorld(cfg Config, w *world.World) (*Env, error) {
 		DemandBits: cfg.DemandBits,
 		Trace:      cfg.Trace,
 	}
+	if cfg.Stats {
+		env.Obs = obs.New()
+	}
+	// SetObs calls are nil-safe: with Stats off they hand every layer nil
+	// handles, keeping the instrumented hot paths no-ops.
+	w.SetObs(env.Obs)
+	env.Medium.SetObs(env.Obs)
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		if err := cfg.Faults.Validate(); err != nil {
 			return nil, err
@@ -276,6 +297,7 @@ func NewEnvWithWorld(cfg Config, w *world.World) (*Env, error) {
 		inj := faults.NewInjector(*cfg.Faults,
 			xrand.Mix(cfg.Seed, xrand.HashString("faults")), sim)
 		env.Faults = inj
+		inj.SetObs(env.Obs)
 		w.SetLinkFault(inj)
 		env.Medium.SetFaults(inj)
 	}
@@ -355,6 +377,7 @@ func RunOnEnv(cfg Config, env *Env, factory Factory) (*Result, error) {
 	res.AvgNeighbors /= float64(cfg.Windows)
 	res.Events = env.Sim.Executed()
 	res.Trials = 1
+	res.Obs = env.Obs
 	return res, nil
 }
 

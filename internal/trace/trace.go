@@ -57,6 +57,10 @@ func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
 
 // Event is one protocol occurrence.
 type Event struct {
+	// Trial is the pooled-run trial index the event belongs to. Emitters
+	// leave it 0; the trial runner stamps it while replaying per-trial
+	// captures into the caller's recorder (single runs are trial 0).
+	Trial int `json:"trial"`
 	// At is the simulation timestamp.
 	At des.Time `json:"at_ns"`
 	// Frame is the protocol frame index.
@@ -162,6 +166,39 @@ func (r *Ring) CountByKind() map[Kind]int {
 		out[e.Kind]++
 	}
 	return out
+}
+
+// Capture is an unbounded in-memory sink retaining every event in emission
+// order. The trial runner attaches one private Capture per trial and replays
+// them in trial order after the pool drains, which is what lets traced runs
+// use every worker without reordering the merged stream.
+type Capture struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewCapture builds an empty capture sink.
+func NewCapture() *Capture { return &Capture{} }
+
+// Record implements Sink.
+func (c *Capture) Record(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Len returns the number of captured events.
+func (c *Capture) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Events returns a copy of the captured events in emission order.
+func (c *Capture) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
 }
 
 // JSONL streams events as JSON Lines to a writer. Errors are sticky: the

@@ -11,15 +11,27 @@
 package udt
 
 import (
+	"fmt"
 	"math"
 
 	"mmv2v/internal/des"
 	"mmv2v/internal/geom"
 	"mmv2v/internal/medium"
+	"mmv2v/internal/obs"
 	"mmv2v/internal/phy"
 	"mmv2v/internal/sim"
 	"mmv2v/internal/trace"
 )
+
+// mcsAirtimeNames precomputes the per-MCS airtime gauge names so the accrual
+// hot path never formats strings.
+var mcsAirtimeNames [phy.NumMCS]string
+
+func init() {
+	for m := range mcsAirtimeNames {
+		mcsAirtimeNames[m] = fmt.Sprintf("udt.airtime_sec.mcs%02d", m)
+	}
+}
 
 // Pair is one agreed data link: endpoints and their refined beams.
 type Pair struct {
@@ -34,6 +46,7 @@ type pairState struct {
 	dirAB       bool
 	stream      medium.StreamID
 	rate        float64
+	mcs         phy.MCS
 	lastAccrual des.Time
 	done        bool
 }
@@ -49,6 +62,11 @@ type Session struct {
 	// tracking, an extension beyond the paper's refine-once-per-frame).
 	track   bool
 	trackCB phy.Codebook
+
+	// Statistics handles (nil-safe no-ops when Env.Obs is nil). airtime[m]
+	// accrues streaming seconds spent at MCS m.
+	airtime        [phy.NumMCS]*obs.Gauge
+	obsCompletions *obs.Counter
 }
 
 // EnableTracking turns on per-refresh beam re-refinement with the given
@@ -64,6 +82,14 @@ func (s *Session) EnableTracking(cb phy.Codebook) {
 // whose task is already complete are skipped.
 func Start(env *sim.Env, pairs []Pair, parity int) *Session {
 	s := &Session{env: env, open: true}
+	if env.Obs != nil {
+		for m := range s.airtime {
+			s.airtime[m] = env.Obs.Gauge(mcsAirtimeNames[m])
+		}
+		s.obsCompletions = env.Obs.Counter("udt.completions")
+		env.Obs.Counter("udt.sessions").Inc()
+		env.Obs.Counter("udt.pairs_started").Add(uint64(len(pairs)))
+	}
 	now := env.Sim.Now()
 	for _, p := range pairs {
 		ps := &pairState{Pair: p, dirAB: (parity+p.A+p.B)%2 == 0, lastAccrual: now}
@@ -108,7 +134,13 @@ func (s *Session) reprice() {
 		}
 		tx, txBeam := ps.txSide()
 		rx, rxBeam := ps.rxSide()
-		rate := phy.DataRate(s.env.Medium.SINRNow(tx, rx, txBeam, rxBeam))
+		m, ok := phy.BestMCS(s.env.Medium.SINRNow(tx, rx, txBeam, rxBeam))
+		rate := 0.0
+		if !ok || m < 1 {
+			m = 0
+		} else {
+			rate = m.Rate()
+		}
 		//mmv2v:exact change detection on a discrete MCS table rate; equal bits mean the same table entry
 		if rate != ps.rate {
 			s.env.Trace.Emit(trace.Event{
@@ -116,6 +148,7 @@ func (s *Session) reprice() {
 			})
 		}
 		ps.rate = rate
+		ps.mcs = m
 	}
 }
 
@@ -130,6 +163,7 @@ func (s *Session) accrue(now des.Time) {
 			// Stamped with the interval start: the pair was exchanging from
 			// the moment the priced stream began, not when it was settled.
 			s.env.Ledger.AddAt(ps.A, ps.B, ps.rate*dt, ps.lastAccrual.Seconds())
+			s.airtime[ps.mcs].Observe(dt)
 		}
 		ps.lastAccrual = now
 	}
@@ -151,6 +185,7 @@ func (s *Session) OnRefresh() {
 		s.env.Medium.StopStream(ps.stream)
 		if s.env.PairDone(ps.A, ps.B) {
 			ps.done = true
+			s.obsCompletions.Inc()
 			s.env.Trace.Emit(trace.Event{
 				At: now, Kind: trace.KindCompletion, A: ps.A, B: ps.B,
 				Value: s.env.Ledger.Exchanged(ps.A, ps.B),
@@ -205,6 +240,8 @@ func (s *Session) ActivePairs() int {
 // pass a negative value to search around the true bearing's sector (used by
 // oracle/centralized schemes).
 func RefineBeams(env *sim.Env, a, b int, cb phy.Codebook, coarseA, coarseB int) (phy.Beam, phy.Beam) {
+	// Each side probes its full narrow-beam set once during the cross search.
+	env.Obs.Counter("udt.refine_probes").Add(uint64(2 * cb.RefinementBeams()))
 	return bestNarrow(env, a, b, cb, coarseA), bestNarrow(env, b, a, cb, coarseB)
 }
 

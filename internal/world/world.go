@@ -20,6 +20,7 @@ import (
 
 	"mmv2v/internal/channel"
 	"mmv2v/internal/geom"
+	"mmv2v/internal/obs"
 	"mmv2v/internal/phy"
 	"mmv2v/internal/traffic"
 	"mmv2v/internal/xrand"
@@ -111,6 +112,12 @@ type World struct {
 	// linkFault, when non-nil, multiplies every refreshed link's path gain
 	// by an extra factor (transient blockage bursts; see internal/faults).
 	linkFault LinkFault
+
+	// Refresh statistics handles (nil-safe no-ops until SetObs installs a
+	// live registry).
+	obsRefreshes    *obs.Counter
+	obsRefreshLinks *obs.Histogram
+	obsNLOSLinks    *obs.Counter
 }
 
 // LinkFault is the world's fault-injection hook: an extra linear gain
@@ -124,6 +131,14 @@ type LinkFault interface {
 // SetLinkFault installs a link-fault hook; nil restores the clean channel.
 // Takes effect at the next Refresh.
 func (w *World) SetLinkFault(f LinkFault) { w.linkFault = f }
+
+// SetObs installs the statistics registry. A nil registry (the default)
+// hands out nil handles, so the Refresh hot path stays a no-op.
+func (w *World) SetObs(r *obs.Registry) {
+	w.obsRefreshes = r.Counter("world.refreshes")
+	w.obsRefreshLinks = r.Histogram("world.refresh_links", obs.ExpBuckets(16, 2, 11))
+	w.obsNLOSLinks = r.Counter("world.nlos_links")
+}
 
 // New builds a World over a road. Refresh is called once so the world is
 // immediately queryable.
@@ -220,7 +235,9 @@ func (w *World) Refresh() {
 	}
 	// Sweep pairs in x order: only vehicles within the interference range
 	// along x can be in range at all, which cuts the pair scan from O(N²)
-	// to O(N·k) at the paper's densities.
+	// to O(N·k) at the paper's densities. Statistics accumulate in locals
+	// and are observed once per refresh, off the inner loop.
+	entries, nlos := 0, 0
 	for ka := 0; ka < w.n; ka++ {
 		a := order[ka]
 		for kb := ka + 1; kb < w.n; kb++ {
@@ -242,12 +259,19 @@ func (w *World) Refresh() {
 			bBA := geom.NormalizeBearing(bAB + geom.Bearing(math.Pi))
 			w.links[a] = append(w.links[a], Link{J: b, Dist: d, Bearing: bAB, Blockers: blockers, PathGainLin: gain})
 			w.links[b] = append(w.links[b], Link{J: a, Dist: d, Bearing: bBA, Blockers: blockers, PathGainLin: gain})
+			entries += 2
+			if blockers > 0 {
+				nlos++
+			}
 			if blockers == 0 && d <= w.cfg.CommRange {
 				w.neighbors[a] = append(w.neighbors[a], b)
 				w.neighbors[b] = append(w.neighbors[b], a)
 			}
 		}
 	}
+	w.obsRefreshes.Inc()
+	w.obsRefreshLinks.Observe(float64(entries))
+	w.obsNLOSLinks.Add(uint64(nlos))
 
 	// Rebuild the per-vehicle rank-window slot tables. The sweep appended
 	// each vehicle's links in ascending partner-rank order, so the first and

@@ -1,0 +1,36 @@
+package mmv2v
+
+import (
+	"io"
+
+	"mmv2v/internal/obs"
+)
+
+// Statistics: set ScenarioConfig.Stats to true and every layer — world,
+// medium, faults, SND/DCM/UDT and both baselines — records named counters,
+// gauges and histograms into Result.Obs. Per-trial registries merge in
+// trial order, so pooled statistics are bit-identical for any worker
+// count. With Stats false (the default) every instrumented site is a
+// nil-handle no-op. See DESIGN.md §9 for the schema.
+
+// StatsRegistry holds one run's (or one pooled trial set's) statistics.
+type StatsRegistry = obs.Registry
+
+// StatsRow is one exported statistic in flattened form.
+type StatsRow = obs.Row
+
+// StatsRows flattens a registry into sorted rows under a scope label.
+// The registry may be nil (a run with Stats off), yielding no rows.
+func StatsRows(r *StatsRegistry, scope string) []StatsRow { return r.Rows(scope) }
+
+// SortStatsRows orders rows by (scope, name) for deterministic export.
+func SortStatsRows(rows []StatsRow) { obs.SortRows(rows) }
+
+// WriteStatsJSONL emits one JSON object per row.
+func WriteStatsJSONL(w io.Writer, rows []StatsRow) error { return obs.WriteJSONL(w, rows) }
+
+// WriteStatsCSV emits the rows as CSV with a header line.
+func WriteStatsCSV(w io.Writer, rows []StatsRow) error { return obs.WriteCSV(w, rows) }
+
+// WriteStatsSummary prints a human-readable statistics table.
+func WriteStatsSummary(w io.Writer, rows []StatsRow) { obs.WriteSummary(w, rows) }
