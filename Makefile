@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench bench-json profile experiments examples faults fuzz-smoke clean
+.PHONY: all build vet lint unitcheck test test-short race bench bench-json profile experiments examples faults fuzz-smoke clean
 
 all: build vet lint test
 
@@ -16,6 +16,11 @@ vet:
 # on any contract violation; see cmd/mmv2v-lint -list for the pass catalog.
 lint:
 	$(GO) run ./cmd/mmv2v-lint ./...
+
+# Physical-units pass alone (fast iteration while refactoring physics code;
+# make lint runs the full catalog).
+unitcheck:
+	$(GO) run ./cmd/mmv2v-lint -passes unitcheck ./...
 
 test:
 	$(GO) test ./...

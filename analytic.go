@@ -4,6 +4,7 @@ import (
 	"mmv2v/internal/analytic"
 	"mmv2v/internal/channel"
 	"mmv2v/internal/phy"
+	"mmv2v/internal/units"
 )
 
 // Closed-form design models (internal/analytic), re-exported for downstream
@@ -33,13 +34,14 @@ type LinkBudget = analytic.LinkBudget
 // Link evaluates the paper's channel at a distance for given 3 dB beam
 // widths in radians (use DegToRad for degrees).
 func Link(distM, txWidthRad, rxWidthRad float64) (LinkBudget, error) {
-	return analytic.Link(channel.DefaultParams(), distM, txWidthRad, rxWidthRad)
+	return analytic.Link(channel.DefaultParams(), units.Meter(distM), units.Radian(txWidthRad), units.Radian(rxWidthRad))
 }
 
 // RangeForSNR returns the largest distance at which a boresight link still
 // reaches the given SNR with the paper's channel.
 func RangeForSNR(txWidthRad, rxWidthRad, minSNRdB float64) (float64, error) {
-	return analytic.RangeForSNR(channel.DefaultParams(), txWidthRad, rxWidthRad, minSNRdB)
+	rng, err := analytic.RangeForSNR(channel.DefaultParams(), units.Radian(txWidthRad), units.Radian(rxWidthRad), units.DB(minSNRdB))
+	return rng.M(), err
 }
 
 // FramesToComplete returns how many dedicated frames a pair needs to move

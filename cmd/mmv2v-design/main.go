@@ -18,6 +18,7 @@ import (
 	"mmv2v/internal/analytic"
 	"mmv2v/internal/channel"
 	"mmv2v/internal/phy"
+	"mmv2v/internal/units"
 )
 
 func main() {
@@ -60,7 +61,7 @@ func run() error {
 
 	fmt.Println("\nlink budget (boresight, no blockers):")
 	fmt.Printf("  %-6s %-22s %-22s\n", "dist", "discovery (30°/12°)", "data (3°/3°)")
-	for _, d := range []float64{10, 25, 50, 66, 100, 150} {
+	for _, d := range []units.Meter{10, 25, 50, 66, 100, 150} {
 		disc, err := analytic.Link(params, d, cb.TxWidth, cb.RxWidth)
 		if err != nil {
 			return err
@@ -76,8 +77,8 @@ func run() error {
 	fmt.Println("\noperating ranges:")
 	rows := []struct {
 		label    string
-		tx, rx   float64
-		minSNRdB float64
+		tx, rx   units.Radian
+		minSNRdB units.DB
 	}{
 		{"control decode, discovery beams", cb.TxWidth, cb.RxWidth, phy.MCS(0).MinSNRdB()},
 		{"16 dB admission, discovery beams", cb.TxWidth, cb.RxWidth, 16},

@@ -68,7 +68,10 @@ func run(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		// The profile is flushed by StopCPUProfile; a close error here can
+		// only lose an artifact the run already reported on, so drop it
+		// explicitly.
+		defer func() { _ = f.Close() }()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return err
 		}
@@ -304,11 +307,13 @@ func writeStats(path string, rows []mmv2v.StatsRow) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if strings.HasSuffix(path, ".csv") {
 		err = mmv2v.WriteStatsCSV(f, rows)
 	} else {
 		err = mmv2v.WriteStatsJSONL(f, rows)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
 	if err != nil {
 		return err
@@ -328,7 +333,10 @@ func writeMemProfile(path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	runtime.GC()
-	return pprof.WriteHeapProfile(f)
+	err = pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

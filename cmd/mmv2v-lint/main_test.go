@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the mmv2v-lint binary once per test run so the exit
+// codes under test are exactly what CI and make lint observe.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mmv2v-lint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runLint executes the binary and returns stdout, stderr and the exit code.
+func runLint(t *testing.T, bin string, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// fixture resolves a module under internal/lint/testdata.
+func fixture(parts ...string) string {
+	return filepath.Join(append([]string{"..", "..", "internal", "lint", "testdata"}, parts...)...)
+}
+
+// TestJSONGolden pins the -json schema byte-for-byte: an array of findings
+// with pass/msg/file/line/col, root-relative slash paths, sorted by
+// position, exit code 1 because findings exist.
+func TestJSONGolden(t *testing.T) {
+	bin := buildLint(t)
+	stdout, _, code := runLint(t, bin, "-C", fixture("errdrop"), "-passes", "errdrop", "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings present)", code)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "errdrop.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(golden) {
+		t.Errorf("-json output drifted from testdata/errdrop.json\n got:\n%s\nwant:\n%s", stdout, golden)
+	}
+}
+
+// TestJSONEmptyArray keeps a clean tree's -json output a parseable empty
+// array, never null.
+func TestJSONEmptyArray(t *testing.T) {
+	bin := buildLint(t)
+	stdout, _, code := runLint(t, bin, "-C", fixture("errdrop"), "-passes", "floateq", "-json", "./...")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (clean)", code)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean -json output = %q, want empty array", stdout)
+	}
+}
+
+// TestExitCodes pins the documented contract: 0 clean, 1 findings, 2 on
+// load or usage errors (README "Lint").
+func TestExitCodes(t *testing.T) {
+	bin := buildLint(t)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean", []string{"-C", fixture("errdrop"), "-passes", "floateq", "./..."}, 0},
+		{"findings", []string{"-C", fixture("errdrop"), "-passes", "errdrop", "./..."}, 1},
+		{"syntax error", []string{"-C", fixture("broken", "syntax"), "./..."}, 2},
+		{"missing package", []string{"-C", fixture("broken", "missing"), "./..."}, 2},
+		{"import cycle", []string{"-C", fixture("broken", "cycle"), "./..."}, 2},
+		{"unknown pass", []string{"-C", fixture("errdrop"), "-passes", "nope", "./..."}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := runLint(t, bin, tc.args...)
+			if code != tc.want {
+				t.Errorf("exit code = %d, want %d (stderr: %s)", code, tc.want, stderr)
+			}
+			if tc.want == 2 && strings.TrimSpace(stderr) == "" {
+				t.Errorf("exit 2 with empty stderr; load/usage errors must be reported")
+			}
+		})
+	}
+}

@@ -39,7 +39,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		density   = flag.Float64("density", 15, "traffic density in vehicles/lane/km (paper: 15-30)")
 		protocol  = flag.String("protocol", "mmv2v", "protocol: mmv2v, rop, ad, oracle, all")
@@ -66,7 +66,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		// The profile is flushed by StopCPUProfile; a close error here can
+		// only lose an artifact the run already reported on, so drop it
+		// explicitly.
+		defer func() { _ = f.Close() }()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return err
 		}
@@ -91,7 +94,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		// Trace events stream to f during the run; surface a close error
+		// (lost events) unless the run already failed for another reason.
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
 		cfg.Trace = mmv2v.NewTraceRecorder(mmv2v.NewTraceJSONL(f))
 	}
 
@@ -190,11 +199,13 @@ func writeStats(path string, rows []mmv2v.StatsRow, jsonMode bool) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if strings.HasSuffix(path, ".csv") {
 		err = mmv2v.WriteStatsCSV(f, rows)
 	} else {
 		err = mmv2v.WriteStatsJSONL(f, rows)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
 	if err != nil {
 		return err
@@ -218,7 +229,10 @@ func writeMemProfile(path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	runtime.GC()
-	return pprof.WriteHeapProfile(f)
+	err = pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -14,6 +14,7 @@ import (
 
 	"mmv2v/internal/channel"
 	"mmv2v/internal/phy"
+	"mmv2v/internal/units"
 )
 
 // DiscoveryRatio returns Theorem 2's expected ratio of neighbors identified
@@ -81,19 +82,19 @@ func Budget(t phy.Timing, cb phy.Codebook, k, m int) (FrameBudget, error) {
 
 // LinkBudget evaluates the Eq. 1 + Eq. 2 link at one distance.
 type LinkBudget struct {
-	DistanceM  float64
-	PathLossDB float64
-	TxGainDBi  float64
-	RxGainDBi  float64
-	RxPowerDBm float64
-	SNRdB      float64
+	DistanceM  units.Meter
+	PathLossDB units.DB
+	TxGainDBi  units.DB
+	RxGainDBi  units.DB
+	RxPowerDBm units.DBm
+	SNRdB      units.DB
 	MCS        phy.MCS
 	RateBps    float64
 }
 
 // Link computes the boresight-aligned link budget at a distance for given
-// 3 dB beam widths (radians), with no blockers and no interference.
-func Link(params channel.Params, distM, txWidth, rxWidth float64) (LinkBudget, error) {
+// 3 dB beam widths, with no blockers and no interference.
+func Link(params channel.Params, dist units.Meter, txWidth, rxWidth units.Radian) (LinkBudget, error) {
 	model, err := channel.NewModel(params)
 	if err != nil {
 		return LinkBudget{}, err
@@ -101,13 +102,13 @@ func Link(params channel.Params, distM, txWidth, rxWidth float64) (LinkBudget, e
 	tx := channel.NewPattern(txWidth, params.SideLobeDB)
 	rx := channel.NewPattern(rxWidth, params.SideLobeDB)
 	lb := LinkBudget{
-		DistanceM:  distM,
-		PathLossDB: model.PathLossDB(distM, 0),
+		DistanceM:  dist,
+		PathLossDB: model.PathLossDB(dist, 0),
 		TxGainDBi:  tx.PeakGainDB(),
 		RxGainDBi:  rx.PeakGainDB(),
 	}
-	lb.RxPowerDBm = params.TxPowerDBm + lb.TxGainDBi + lb.RxGainDBi - lb.PathLossDB
-	lb.SNRdB = lb.RxPowerDBm - model.NoiseDBm()
+	lb.RxPowerDBm = params.TxPowerDBm.Plus(lb.TxGainDBi).Plus(lb.RxGainDBi).Plus(-lb.PathLossDB)
+	lb.SNRdB = lb.RxPowerDBm.Minus(model.NoiseDBm())
 	mcs, ok := phy.BestMCS(lb.SNRdB)
 	if ok {
 		lb.MCS = mcs
@@ -118,12 +119,12 @@ func Link(params channel.Params, distM, txWidth, rxWidth float64) (LinkBudget, e
 	return lb, nil
 }
 
-// RangeForSNR returns the largest distance (m) at which the
-// boresight-aligned link still reaches the given SNR, found by bisection on
-// the monotone Eq. 1 loss. Returns 0 if even 1 m fails.
-func RangeForSNR(params channel.Params, txWidth, rxWidth, minSNRdB float64) (float64, error) {
-	lo, hi := 1.0, 2000.0
-	at := func(d float64) (float64, error) {
+// RangeForSNR returns the largest distance at which the boresight-aligned
+// link still reaches the given SNR, found by bisection on the monotone
+// Eq. 1 loss. Returns 0 if even 1 m fails.
+func RangeForSNR(params channel.Params, txWidth, rxWidth units.Radian, minSNR units.DB) (units.Meter, error) {
+	lo, hi := units.Meter(1), units.Meter(2000)
+	at := func(d units.Meter) (units.DB, error) {
 		lb, err := Link(params, d, txWidth, rxWidth)
 		if err != nil {
 			return 0, err
@@ -134,10 +135,10 @@ func RangeForSNR(params channel.Params, txWidth, rxWidth, minSNRdB float64) (flo
 	if err != nil {
 		return 0, err
 	}
-	if s < minSNRdB {
+	if s < minSNR {
 		return 0, nil
 	}
-	if s, _ := at(hi); s >= minSNRdB {
+	if s, _ := at(hi); s >= minSNR {
 		return hi, nil
 	}
 	for i := 0; i < 60; i++ {
@@ -146,7 +147,7 @@ func RangeForSNR(params channel.Params, txWidth, rxWidth, minSNRdB float64) (flo
 		if err != nil {
 			return 0, err
 		}
-		if s >= minSNRdB {
+		if s >= minSNR {
 			lo = mid
 		} else {
 			hi = mid

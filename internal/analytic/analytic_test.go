@@ -8,6 +8,7 @@ import (
 	"mmv2v/internal/channel"
 	"mmv2v/internal/geom"
 	"mmv2v/internal/phy"
+	"mmv2v/internal/units"
 )
 
 func TestDiscoveryRatioTheorem2Values(t *testing.T) {
@@ -119,7 +120,7 @@ func TestLinkBudgetAgainstChannelModel(t *testing.T) {
 	}
 	tx := channel.NewPattern(geom.Deg(3), params.SideLobeDB)
 	want := model.SNRdB(66, 0, tx.G1, tx.G1)
-	if math.Abs(lb.SNRdB-want) > 1e-9 {
+	if math.Abs((lb.SNRdB - want).Decibels()) > 1e-9 {
 		t.Errorf("SNR = %v, model says %v", lb.SNRdB, want)
 	}
 	if lb.MCS != 12 {
@@ -142,7 +143,7 @@ func TestLinkBudgetUndecodable(t *testing.T) {
 
 func TestRangeForSNRInvertsLink(t *testing.T) {
 	params := channel.DefaultParams()
-	for _, snr := range []float64{1, 10, 16, 21} {
+	for _, snr := range []units.DB{1, 10, 16, 21} {
 		r, err := RangeForSNR(params, geom.Deg(30), geom.Deg(12), snr)
 		if err != nil {
 			t.Fatal(err)
@@ -154,10 +155,10 @@ func TestRangeForSNRInvertsLink(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if math.Abs(at.SNRdB-snr) > 0.01 {
+		if math.Abs((at.SNRdB - snr).Decibels()) > 0.01 {
 			t.Errorf("SNR at range(%v)=%.1f m is %v", snr, r, at.SNRdB)
 		}
-		beyond, _ := Link(params, r*1.1, geom.Deg(30), geom.Deg(12))
+		beyond, _ := Link(params, r.Times(1.1), geom.Deg(30), geom.Deg(12))
 		if beyond.SNRdB >= snr {
 			t.Errorf("SNR beyond range still %v", beyond.SNRdB)
 		}

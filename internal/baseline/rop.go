@@ -17,11 +17,12 @@ import (
 	"mmv2v/internal/phy"
 	"mmv2v/internal/sim"
 	"mmv2v/internal/udt"
+	"mmv2v/internal/units"
 )
 
 // discovery is what a vehicle learned about a peer from received sweeps.
 type discovery struct {
-	snrDB        float64
+	snrDB        units.DB
 	towardSector int
 	lastFrame    int
 }
@@ -54,7 +55,7 @@ type ROPParams struct {
 	// without progress (endpoints drifted or can't re-align).
 	BreakAfterIdle int
 	// MinLinkSNRdB is the discovery admission threshold, as in mmV2V.
-	MinLinkSNRdB float64
+	MinLinkSNRdB units.DB
 }
 
 // DefaultROPParams returns the budget-matched ROP configuration.

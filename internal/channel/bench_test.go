@@ -4,13 +4,14 @@ import (
 	"testing"
 
 	"mmv2v/internal/geom"
+	"mmv2v/internal/units"
 )
 
 func BenchmarkPatternGain(b *testing.B) {
 	p := NewPattern(geom.Deg(12), 20)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_ = p.Gain(float64(i%628) / 100)
+		_ = p.Gain(units.Radian(float64(i%628) / 100))
 	}
 }
 
@@ -21,7 +22,7 @@ func BenchmarkPathLoss(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_ = m.PathLossDB(float64(i%200)+1, i%3)
+		_ = m.PathLossDB(units.Meter(float64(i%200)+1), i%3)
 	}
 }
 

@@ -3,60 +3,52 @@
 // 3GPP Gaussian main-lobe beam pattern (Eq. 2), and the directional SINR
 // formulation (Eq. 3), plus vehicle-body blockage accounting.
 //
-// All gains are carried in linear scale internally; dB helpers convert at
-// the boundaries. Power quantities are in milliwatts (so dBm values convert
-// directly).
+// All gains are carried in linear scale internally; the internal/units
+// conversion vocabulary (units.DB, units.DBm, units.MilliWatt, ...) types
+// every log/linear boundary, so mixing a dB figure into a milliwatt sum is
+// a compile error and the residual escape hatches are closed by the
+// `unitcheck` lint pass.
 package channel
 
 import (
 	"fmt"
 	"math"
+
+	"mmv2v/internal/units"
 )
-
-// DB converts a linear power ratio to decibels.
-func DB(lin float64) float64 { return 10 * math.Log10(lin) }
-
-// Lin converts decibels to a linear power ratio.
-func Lin(db float64) float64 { return math.Pow(10, db/10) }
-
-// DBmToMw converts dBm to milliwatts.
-func DBmToMw(dbm float64) float64 { return math.Pow(10, dbm/10) }
-
-// MwToDBm converts milliwatts to dBm.
-func MwToDBm(mw float64) float64 { return 10 * math.Log10(mw) }
 
 // Params configures the channel model. Defaults mirror Sec. IV-A of the
 // paper; values the paper leaves unspecified are documented in DESIGN.md.
 type Params struct {
-	// PathLossExp is the exponent a in Eq. 1. The Yamamoto model the paper
-	// cites reports ≈2.66 for 60 GHz inter-vehicle LOS links.
+	// PathLossExp is the exponent a in Eq. 1 (dimensionless). The Yamamoto
+	// model the paper cites reports ≈2.66 for 60 GHz inter-vehicle LOS links.
 	PathLossExp float64
 	// LOSOffsetDB is the distance-independent part of O in Eq. 1 for an
 	// unobstructed link (includes the first-meter free-space loss).
-	LOSOffsetDB float64
+	LOSOffsetDB units.DB
 	// BlockerLossDB is the additional attenuation per blocking vehicle body.
-	BlockerLossDB float64
+	BlockerLossDB units.DB
 	// MaxBlockersCounted caps the per-blocker attenuation (deep blockage
 	// saturates).
 	MaxBlockersCounted int
 	// AtmosphericDBPerKm is the 60 GHz oxygen-absorption term (Eq. 1 uses
 	// 15 dB/km).
-	AtmosphericDBPerKm float64
+	AtmosphericDBPerKm units.DB
 	// TxPowerDBm is each vehicle's transmission power (paper: 28 dBm).
-	TxPowerDBm float64
+	TxPowerDBm units.DBm
 	// NoiseDensityDBmHz is N0 (paper: −174 dBm/Hz).
-	NoiseDensityDBmHz float64
+	NoiseDensityDBmHz units.DBm
 	// BandwidthHz is the channel bandwidth B (paper: 2.16 GHz).
-	BandwidthHz float64
+	BandwidthHz units.Hertz
 	// SideLobeDB is how far the side-lobe gain g² sits below the main-lobe
 	// peak g¹ (not given in the paper; 20 dB is typical for the 3GPP
 	// pattern).
-	SideLobeDB float64
+	SideLobeDB units.DB
 	// ShadowSigmaDB is the standard deviation of an optional per-link
 	// log-normal shadowing term added to Eq. 1 (the Yamamoto measurements
 	// report several dB of spread; the paper uses the mean model, so the
 	// default is 0). Shadowing is drawn per vehicle pair, static per run.
-	ShadowSigmaDB float64
+	ShadowSigmaDB units.DB
 }
 
 // DefaultParams returns the paper's channel configuration.
@@ -95,8 +87,8 @@ func (p Params) Validate() error {
 // Model precomputes derived constants of the channel.
 type Model struct {
 	params  Params
-	noiseMw float64
-	txMw    float64
+	noiseMw units.MilliWatt
+	txMw    units.MilliWatt
 }
 
 // NewModel validates params and builds a Model.
@@ -106,8 +98,8 @@ func NewModel(params Params) (*Model, error) {
 	}
 	return &Model{
 		params:  params,
-		noiseMw: DBmToMw(params.NoiseDensityDBmHz + DB(params.BandwidthHz)),
-		txMw:    DBmToMw(params.TxPowerDBm),
+		noiseMw: units.DBmToMilliWatt(params.NoiseDensityDBmHz.Plus(units.LinearToDB(params.BandwidthHz.Hz()))),
+		txMw:    units.DBmToMilliWatt(params.TxPowerDBm),
 	}, nil
 }
 
@@ -115,19 +107,19 @@ func NewModel(params Params) (*Model, error) {
 func (m *Model) Params() Params { return m.params }
 
 // NoiseMw returns the thermal noise power N0·B in milliwatts.
-func (m *Model) NoiseMw() float64 { return m.noiseMw }
+func (m *Model) NoiseMw() units.MilliWatt { return m.noiseMw }
 
 // NoiseDBm returns the thermal noise power in dBm.
-func (m *Model) NoiseDBm() float64 { return MwToDBm(m.noiseMw) }
+func (m *Model) NoiseDBm() units.DBm { return units.MilliWattToDBm(m.noiseMw) }
 
 // TxPowerMw returns the transmit power in milliwatts.
-func (m *Model) TxPowerMw() float64 { return m.txMw }
+func (m *Model) TxPowerMw() units.MilliWatt { return m.txMw }
 
 // PathLossDB evaluates Eq. 1: a·10·log10(d) + O + 15·d/1000, where O is the
 // LOS offset plus the per-blocker penalty. Distances below 1 m clamp to 1 m.
-func (m *Model) PathLossDB(distM float64, blockers int) float64 {
-	if distM < 1 {
-		distM = 1
+func (m *Model) PathLossDB(dist units.Meter, blockers int) units.DB {
+	if dist < 1 {
+		dist = 1
 	}
 	if blockers < 0 {
 		blockers = 0
@@ -135,26 +127,27 @@ func (m *Model) PathLossDB(distM float64, blockers int) float64 {
 	if blockers > m.params.MaxBlockersCounted {
 		blockers = m.params.MaxBlockersCounted
 	}
-	o := m.params.LOSOffsetDB + float64(blockers)*m.params.BlockerLossDB
-	return m.params.PathLossExp*10*math.Log10(distM) + o + m.params.AtmosphericDBPerKm*distM/1000
+	o := m.params.LOSOffsetDB + m.params.BlockerLossDB.Times(float64(blockers))
+	return units.DB(m.params.PathLossExp*10*math.Log10(dist.M())) + o +
+		m.params.AtmosphericDBPerKm.Times(dist.M())/1000
 }
 
 // PathGainLin returns the linear channel power gain g^c for a link
-// (always < 1).
-func (m *Model) PathGainLin(distM float64, blockers int) float64 {
-	return Lin(-m.PathLossDB(distM, blockers))
+// (always < 1, dimensionless).
+func (m *Model) PathGainLin(dist units.Meter, blockers int) float64 {
+	return (-m.PathLossDB(dist, blockers)).Linear()
 }
 
-// SNRdB returns the interference-free SNR of a link given beam gains.
-func (m *Model) SNRdB(distM float64, blockers int, txGainLin, rxGainLin float64) float64 {
-	rx := m.txMw * txGainLin * m.PathGainLin(distM, blockers) * rxGainLin
-	return DB(rx / m.noiseMw)
+// SNRdB returns the interference-free SNR of a link given linear beam gains.
+func (m *Model) SNRdB(dist units.Meter, blockers int, txGainLin, rxGainLin float64) units.DB {
+	rx := units.MilliWatt(m.txMw.MW() * txGainLin * m.PathGainLin(dist, blockers) * rxGainLin)
+	return units.RatioDB(rx, m.noiseMw)
 }
 
 // SINR computes Eq. 3 from a desired received power and a sum of
 // interference powers, all in milliwatts, returning the ratio in dB.
-func (m *Model) SINR(desiredMw, interferenceMw float64) float64 {
-	return DB(desiredMw / (m.noiseMw + interferenceMw))
+func (m *Model) SINR(desired, interference units.MilliWatt) units.DB {
+	return units.RatioDB(desired, m.noiseMw+interference)
 }
 
 // gaussMainLobeConst is the 3 · ln(10) / 10 exponent constant of Eq. 2
@@ -165,27 +158,27 @@ const gaussMainLobeConst = 0.3 * math.Ln10
 // a Gaussian main lobe of peak gain g1 and a flat side lobe g2, with the
 // main/side boundary θ1 = (ω/2)·sqrt((10/3)·log10(g1/g2)) from the paper.
 type Pattern struct {
-	// Width is the 3 dB beam width ω in radians.
-	Width float64
-	// G1 is the main-lobe peak gain (linear).
+	// Width is the 3 dB beam width ω.
+	Width units.Radian
+	// G1 is the main-lobe peak gain (linear, dimensionless).
 	G1 float64
-	// G2 is the side-lobe gain (linear).
+	// G2 is the side-lobe gain (linear, dimensionless).
 	G2 float64
-	// Theta1 is the main-lobe boundary in radians.
-	Theta1 float64
+	// Theta1 is the main-lobe boundary.
+	Theta1 units.Radian
 }
 
 // NewPattern derives a pattern for the given 3 dB beam width. The peak gain
 // g1 is solved from 2-D energy conservation — the integral of the pattern
-// over the full circle equals 2π — with the side lobe fixed SideLobeDB below
+// over the full circle equals 2π — with the side lobe fixed sideLobe below
 // the peak, so narrower beams get proportionally higher gain (the physical
 // tradeoff the paper's heterogeneous Tx/Rx widths exploit).
-func NewPattern(widthRad float64, sideLobeDB float64) Pattern {
-	if widthRad <= 0 || widthRad > 2*math.Pi {
-		panic(fmt.Sprintf("channel: invalid beam width %v rad", widthRad))
+func NewPattern(width units.Radian, sideLobe units.DB) Pattern {
+	if width <= 0 || width > 2*math.Pi {
+		panic(fmt.Sprintf("channel: invalid beam width %v rad", width))
 	}
-	rho := Lin(-sideLobeDB) // g2/g1
-	half := widthRad / 2
+	rho := (-sideLobe).Linear() // g2/g1
+	half := width.Rad() / 2
 	// θ1 from the paper's boundary formula with g1/g2 = 1/rho.
 	theta1 := half * math.Sqrt(10.0/3.0*math.Log10(1/rho))
 	if theta1 > math.Pi {
@@ -195,25 +188,25 @@ func NewPattern(widthRad float64, sideLobeDB float64) Pattern {
 	c := gaussMainLobeConst
 	mainIntegral := half * math.Sqrt(math.Pi/c) * math.Erf(math.Sqrt(c)*theta1/half)
 	g1 := 2 * math.Pi / (mainIntegral + rho*(2*math.Pi-2*theta1))
-	return Pattern{Width: widthRad, G1: g1, G2: g1 * rho, Theta1: theta1}
+	return Pattern{Width: width, G1: g1, G2: g1 * rho, Theta1: units.Radian(theta1)}
 }
 
-// Gain evaluates Eq. 2 at off-boresight angle gamma (radians, any sign),
-// returning linear gain.
-func (p Pattern) Gain(gamma float64) float64 {
-	gamma = math.Abs(gamma)
-	if gamma > math.Pi {
-		gamma = 2*math.Pi - gamma
+// Gain evaluates Eq. 2 at off-boresight angle gamma (any sign), returning
+// linear gain.
+func (p Pattern) Gain(gamma units.Radian) float64 {
+	g := math.Abs(gamma.Rad())
+	if g > math.Pi {
+		g = 2*math.Pi - g
 	}
-	if gamma < p.Theta1 {
-		x := gamma / (p.Width / 2)
+	if g < p.Theta1.Rad() {
+		x := g / (p.Width.Rad() / 2)
 		return p.G1 * math.Exp(-gaussMainLobeConst*x*x)
 	}
 	return p.G2
 }
 
 // PeakGainDB returns the boresight gain in dBi.
-func (p Pattern) PeakGainDB() float64 { return DB(p.G1) }
+func (p Pattern) PeakGainDB() units.DB { return units.LinearToDB(p.G1) }
 
 // OmniPattern returns an isotropic (0 dBi) pattern, used for quasi-omni
 // listening in the 802.11ad baseline.
@@ -226,21 +219,21 @@ func OmniPattern() Pattern {
 // handful of widths (α, β, θ_min, quasi-omni) but evaluates gains millions
 // of times.
 type PatternCache struct {
-	sideLobeDB float64
-	byWidth    map[float64]Pattern
+	sideLobe units.DB
+	byWidth  map[units.Radian]Pattern
 }
 
 // NewPatternCache builds a cache with the given side-lobe level.
-func NewPatternCache(sideLobeDB float64) *PatternCache {
-	return &PatternCache{sideLobeDB: sideLobeDB, byWidth: make(map[float64]Pattern)}
+func NewPatternCache(sideLobe units.DB) *PatternCache {
+	return &PatternCache{sideLobe: sideLobe, byWidth: make(map[units.Radian]Pattern)}
 }
 
 // Get returns the pattern for a beam width, deriving it on first use.
-func (c *PatternCache) Get(widthRad float64) Pattern {
-	if p, ok := c.byWidth[widthRad]; ok {
+func (c *PatternCache) Get(width units.Radian) Pattern {
+	if p, ok := c.byWidth[width]; ok {
 		return p
 	}
-	p := NewPattern(widthRad, c.sideLobeDB)
-	c.byWidth[widthRad] = p
+	p := NewPattern(width, c.sideLobe)
+	c.byWidth[width] = p
 	return p
 }

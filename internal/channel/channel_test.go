@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"mmv2v/internal/geom"
+	"mmv2v/internal/units"
 )
 
 func newModel(t *testing.T) *Model {
@@ -20,7 +21,7 @@ func newModel(t *testing.T) *Model {
 func TestDBLinRoundTrip(t *testing.T) {
 	f := func(db float64) bool {
 		db = math.Mod(db, 200)
-		return math.Abs(DB(Lin(db))-db) < 1e-9
+		return math.Abs(units.LinearToDB(units.DB(db).Linear()).Decibels()-db) < 1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -28,13 +29,13 @@ func TestDBLinRoundTrip(t *testing.T) {
 }
 
 func TestDBmMwConversions(t *testing.T) {
-	if got := DBmToMw(0); math.Abs(got-1) > 1e-12 {
+	if got := units.DBmToMilliWatt(0).MW(); math.Abs(got-1) > 1e-12 {
 		t.Errorf("DBmToMw(0) = %v", got)
 	}
-	if got := DBmToMw(30); math.Abs(got-1000) > 1e-9 {
+	if got := units.DBmToMilliWatt(30).MW(); math.Abs(got-1000) > 1e-9 {
 		t.Errorf("DBmToMw(30) = %v", got)
 	}
-	if got := MwToDBm(100); math.Abs(got-20) > 1e-12 {
+	if got := units.MilliWattToDBm(100).Decibels(); math.Abs(got-20) > 1e-12 {
 		t.Errorf("MwToDBm(100) = %v", got)
 	}
 }
@@ -63,7 +64,7 @@ func TestParamsValidate(t *testing.T) {
 func TestNoiseFloor(t *testing.T) {
 	// N0·B for −174 dBm/Hz over 2.16 GHz ≈ −80.65 dBm.
 	m := newModel(t)
-	if got := m.NoiseDBm(); math.Abs(got-(-80.65)) > 0.05 {
+	if got := m.NoiseDBm().Decibels(); math.Abs(got-(-80.65)) > 0.05 {
 		t.Errorf("noise floor = %v dBm, want ≈ -80.65", got)
 	}
 }
@@ -71,7 +72,7 @@ func TestNoiseFloor(t *testing.T) {
 func TestPathLossMonotonicInDistance(t *testing.T) {
 	m := newModel(t)
 	prev := m.PathLossDB(1, 0)
-	for d := 2.0; d <= 1000; d *= 1.5 {
+	for d := units.Meter(2); d <= 1000; d *= 1.5 {
 		cur := m.PathLossDB(d, 0)
 		if cur <= prev {
 			t.Fatalf("path loss not increasing at %v m: %v <= %v", d, cur, prev)
@@ -84,9 +85,9 @@ func TestPathLossEquationValues(t *testing.T) {
 	// Hand-computed Eq. 1 values with default params.
 	m := newModel(t)
 	tests := []struct {
-		d        float64
+		d        units.Meter
 		blockers int
-		want     float64
+		want     units.DB
 	}{
 		{1, 0, 70.015},                      // 0 + 70 + 0.015
 		{100, 0, 2.66*10*2 + 70 + 1.5},      // 124.7
@@ -97,7 +98,7 @@ func TestPathLossEquationValues(t *testing.T) {
 		{0.5, 0, 70.015},                    // sub-meter clamps to 1 m
 	}
 	for _, tt := range tests {
-		if got := m.PathLossDB(tt.d, tt.blockers); math.Abs(got-tt.want) > 1e-9 {
+		if got := m.PathLossDB(tt.d, tt.blockers); math.Abs((got - tt.want).Decibels()) > 1e-9 {
 			t.Errorf("PathLossDB(%v, %d) = %v, want %v", tt.d, tt.blockers, got, tt.want)
 		}
 	}
@@ -112,8 +113,8 @@ func TestNegativeBlockersClamped(t *testing.T) {
 
 func TestPathGainLinConsistent(t *testing.T) {
 	m := newModel(t)
-	d := 66.0
-	if got, want := DB(m.PathGainLin(d, 0)), -m.PathLossDB(d, 0); math.Abs(got-want) > 1e-9 {
+	d := units.Meter(66)
+	if got, want := units.LinearToDB(m.PathGainLin(d, 0)), -m.PathLossDB(d, 0); math.Abs((got - want).Decibels()) > 1e-9 {
 		t.Errorf("gain %v dB vs loss %v dB", got, want)
 	}
 }
@@ -142,22 +143,22 @@ func TestSNRLinkBudget(t *testing.T) {
 
 func TestSINRReducesToSNRWithoutInterference(t *testing.T) {
 	m := newModel(t)
-	desired := m.TxPowerMw() * m.PathGainLin(66, 0)
-	if got, want := m.SINR(desired, 0), DB(desired/m.NoiseMw()); math.Abs(got-want) > 1e-12 {
+	desired := m.TxPowerMw().Times(m.PathGainLin(66, 0))
+	if got, want := m.SINR(desired, 0), units.LinearToDB(desired.Over(m.NoiseMw())); math.Abs((got - want).Decibels()) > 1e-12 {
 		t.Errorf("SINR = %v, want %v", got, want)
 	}
 }
 
 func TestSINRDecreasesWithInterference(t *testing.T) {
 	m := newModel(t)
-	desired := m.TxPowerMw() * m.PathGainLin(66, 0)
+	desired := m.TxPowerMw().Times(m.PathGainLin(66, 0))
 	clean := m.SINR(desired, 0)
-	dirty := m.SINR(desired, m.NoiseMw()*10)
+	dirty := m.SINR(desired, m.NoiseMw().Times(10))
 	if dirty >= clean {
 		t.Errorf("interference did not reduce SINR: %v vs %v", dirty, clean)
 	}
 	// 10× noise interference costs ≈10.4 dB.
-	if diff := clean - dirty; math.Abs(diff-10.41) > 0.1 {
+	if diff := clean - dirty; math.Abs(diff.Decibels()-10.41) > 0.1 {
 		t.Errorf("SINR delta = %v dB, want ≈10.41", diff)
 	}
 }
@@ -173,8 +174,8 @@ func TestPatternHalfPowerAtHalfWidth(t *testing.T) {
 	// Eq. 2 gives exactly −3 dB at γ = ω/2.
 	for _, widthDeg := range []float64{3, 12, 30, 60} {
 		p := NewPattern(geom.Deg(widthDeg), 20)
-		got := DB(p.Gain(geom.Deg(widthDeg)/2) / p.G1)
-		if math.Abs(got-(-3)) > 1e-9 {
+		got := units.LinearToDB(p.Gain(geom.Deg(widthDeg)/2) / p.G1)
+		if math.Abs(got.Decibels()-(-3)) > 1e-9 {
 			t.Errorf("width %v°: relative gain at ω/2 = %v dB, want −3", widthDeg, got)
 		}
 	}
@@ -182,7 +183,7 @@ func TestPatternHalfPowerAtHalfWidth(t *testing.T) {
 
 func TestPatternSideLobeLevel(t *testing.T) {
 	p := NewPattern(geom.Deg(12), 20)
-	if got := DB(p.G1 / p.G2); math.Abs(got-20) > 1e-9 {
+	if got := units.LinearToDB(p.G1 / p.G2); math.Abs(got.Decibels()-20) > 1e-9 {
 		t.Errorf("side lobe level = %v dB, want 20", got)
 	}
 	if got := p.Gain(math.Pi); got != p.G2 {
@@ -198,7 +199,7 @@ func TestPatternEnergyConservation(t *testing.T) {
 		sum := 0.0
 		for i := 0; i < steps; i++ {
 			gamma := -math.Pi + 2*math.Pi*(float64(i)+0.5)/steps
-			sum += p.Gain(gamma)
+			sum += p.Gain(units.Radian(gamma))
 		}
 		integral := sum * 2 * math.Pi / steps
 		if math.Abs(integral-2*math.Pi)/(2*math.Pi) > 0.01 {
@@ -223,7 +224,7 @@ func TestPatternGainSymmetric(t *testing.T) {
 	p := NewPattern(geom.Deg(30), 20)
 	f := func(gamma float64) bool {
 		gamma = math.Mod(gamma, math.Pi)
-		return math.Abs(p.Gain(gamma)-p.Gain(-gamma)) < 1e-12
+		return math.Abs(p.Gain(units.Radian(gamma))-p.Gain(units.Radian(-gamma))) < 1e-12
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -234,7 +235,7 @@ func TestPatternGainWrapsBeyondPi(t *testing.T) {
 	p := NewPattern(geom.Deg(30), 20)
 	// Gain at γ and 2π−γ must agree (angles measure the same direction).
 	for _, g := range []float64{0.1, 1.0, 3.0} {
-		if math.Abs(p.Gain(g)-p.Gain(2*math.Pi-g)) > 1e-12 {
+		if math.Abs(p.Gain(units.Radian(g))-p.Gain(units.Radian(2*math.Pi-g))) > 1e-12 {
 			t.Errorf("gain not periodic at %v", g)
 		}
 	}
@@ -251,7 +252,7 @@ func TestInvalidPatternWidthPanics(t *testing.T) {
 
 func TestOmniPattern(t *testing.T) {
 	p := OmniPattern()
-	for _, g := range []float64{0, 1, math.Pi} {
+	for _, g := range []units.Radian{0, 1, math.Pi} {
 		if p.Gain(g) != 1 {
 			t.Errorf("omni gain at %v = %v", g, p.Gain(g))
 		}
@@ -282,7 +283,7 @@ func TestExpectedPeakGains(t *testing.T) {
 	}
 	for _, tt := range tests {
 		got := NewPattern(geom.Deg(tt.widthDeg), 20).PeakGainDB()
-		if math.Abs(got-tt.wantDBi) > 0.3 {
+		if math.Abs(got.Decibels()-tt.wantDBi) > 0.3 {
 			t.Errorf("peak gain for %v° = %.2f dBi, want ≈%v", tt.widthDeg, got, tt.wantDBi)
 		}
 	}

@@ -3,6 +3,8 @@ package channel
 import (
 	"math"
 	"testing"
+
+	"mmv2v/internal/units"
 )
 
 // FuzzSINR pins two properties of Eq. 3 evaluation that the interference
@@ -28,12 +30,12 @@ func FuzzSINR(f *testing.F) {
 		if desiredMw <= 0 {
 			t.Skip()
 		}
-		full := m.SINR(desiredMw, intf1Mw+intf2Mw)
-		if math.IsNaN(full) || math.IsInf(full, 0) {
+		full := m.SINR(units.MilliWatt(desiredMw), units.MilliWatt(intf1Mw+intf2Mw))
+		if math.IsNaN(full.Decibels()) || math.IsInf(full.Decibels(), 0) {
 			t.Fatalf("SINR(%v, %v) = %v, want finite", desiredMw, intf1Mw+intf2Mw, full)
 		}
-		one := m.SINR(desiredMw, intf1Mw)
-		clean := m.SINR(desiredMw, 0)
+		one := m.SINR(units.MilliWatt(desiredMw), units.MilliWatt(intf1Mw))
+		clean := m.SINR(units.MilliWatt(desiredMw), 0)
 		if one < full {
 			t.Fatalf("removing interferer decreased SINR: %v -> %v", full, one)
 		}

@@ -9,6 +9,7 @@ import (
 	"mmv2v/internal/medium"
 	"mmv2v/internal/phy"
 	"mmv2v/internal/trace"
+	"mmv2v/internal/units"
 )
 
 // negMsg is a DCM candidate-information message (first half of a slot):
@@ -17,9 +18,9 @@ import (
 type negMsg struct {
 	from, to int
 	// linkSNR is the sender's SSW measurement of the (from, to) link.
-	linkSNR float64
+	linkSNR units.DB
 	// candSNR is the sender's current candidate link quality.
-	candSNR float64
+	candSNR units.DB
 	hasCand bool
 }
 
@@ -132,11 +133,11 @@ func (p *Protocol) dcmReply() {
 // pairQuality scores a prospective pair for the DCM update rule: the
 // conservative minimum of the two SSW measurements, plus the optional
 // fairness bias toward pairs with less completed work.
-func (p *Protocol) pairQuality(i, j int, mySNR, theirSNR float64) float64 {
-	q := math.Min(mySNR, theirSNR)
+func (p *Protocol) pairQuality(i, j int, mySNR, theirSNR units.DB) units.DB {
+	q := units.DB(math.Min(mySNR.Decibels(), theirSNR.Decibels()))
 	//mmv2v:exact config gate: the bias term is enabled iff the knob was set to a nonzero literal
 	if p.cfg.FairnessBiasDB != 0 {
-		q += p.cfg.FairnessBiasDB * (1 - p.env.Ledger.Progress(i, j, p.env.DemandBits))
+		q += p.cfg.FairnessBiasDB.Times(1 - p.env.Ledger.Progress(i, j, p.env.DemandBits))
 	}
 	return q
 }
@@ -240,7 +241,7 @@ func (p *Protocol) dcmDecide(slot int) {
 		p.obsMatches.Inc()
 		p.env.Trace.Emit(trace.Event{
 			At: p.env.Sim.Now(), Frame: p.frame, Kind: trace.KindMatch,
-			A: i, B: j, Value: pairQ,
+			A: i, B: j, Value: pairQ.Decibels(),
 		})
 	}
 	// Second half: break-up senders transmit; everyone else with a

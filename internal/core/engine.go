@@ -8,12 +8,13 @@ import (
 	"mmv2v/internal/des"
 	"mmv2v/internal/obs"
 	"mmv2v/internal/sim"
+	"mmv2v/internal/units"
 )
 
 // neighborInfo is what a vehicle knows about a discovered neighbor.
 type neighborInfo struct {
 	// snrDB is the most recent SSW measurement of the link.
-	snrDB float64
+	snrDB units.DB
 	// towardSector is the owner's sector index pointing at the neighbor
 	// (the sensing sector it decoded the neighbor on).
 	towardSector int
@@ -24,7 +25,7 @@ type neighborInfo struct {
 // candidate is a vehicle's current DCM communication candidate.
 type candidate struct {
 	peer  int
-	snrDB float64
+	snrDB units.DB
 	valid bool
 }
 
@@ -75,8 +76,8 @@ type Protocol struct {
 // negotiationState records the peer negotiation message decoded in a slot.
 type negotiationState struct {
 	got     bool
-	linkSNR float64
-	candSNR float64
+	linkSNR units.DB
+	candSNR units.DB
 	hasCand bool
 }
 

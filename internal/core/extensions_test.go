@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mmv2v/internal/sim"
+	"mmv2v/internal/units"
 )
 
 // Tests for the documented extensions beyond the paper: fairness-biased
@@ -14,7 +15,7 @@ func TestFairnessBiasImprovesFairness(t *testing.T) {
 	// A dense-ish generated scenario where the pure-SNR objective starves
 	// weaker links: the biased objective must reduce DTP (fairness) without
 	// collapsing ATP.
-	run := func(bias float64) (atp, dtp float64) {
+	run := func(bias units.DB) (atp, dtp float64) {
 		cfg := sim.DefaultConfig(20, 5)
 		cfg.WindowSec = 0.6
 		params := DefaultParams()
@@ -41,12 +42,12 @@ func TestFairnessBiasQuality(t *testing.T) {
 	params.FairnessBiasDB = 10
 	p := New(env, params)
 	// No progress yet: quality = SNR + full bias.
-	if got, want := p.pairQuality(0, 1, 20, 25), 30.0; got != want {
+	if got, want := p.pairQuality(0, 1, 20, 25), units.DB(30); got != want {
 		t.Errorf("quality = %v, want %v", got, want)
 	}
 	// Half done: half the bias.
 	env.Ledger.Add(0, 1, 50e6)
-	if got, want := p.pairQuality(0, 1, 20, 25), 25.0; got != want {
+	if got, want := p.pairQuality(0, 1, 20, 25), units.DB(25); got != want {
 		t.Errorf("quality = %v, want %v", got, want)
 	}
 	// Zero bias reduces to the paper's min-SNR rule.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"mmv2v/internal/phy"
+	"mmv2v/internal/units"
 	"mmv2v/internal/xrand"
 )
 
@@ -48,7 +49,7 @@ type Params struct {
 	// "communication range" — the default corresponds to the SNR of an
 	// unblocked link at the world's 50 m neighbor radius with the α/β
 	// discovery beams.
-	MinLinkSNRdB float64
+	MinLinkSNRdB units.DB
 	// ExplicitRefinement runs the Sec. III-D cross search as real probe and
 	// feedback transmissions over the shared medium instead of the
 	// closed-form model: concurrent pairs interfere and a failed search
@@ -76,7 +77,7 @@ type Params struct {
 	// yields high DTP at high density (Sec. IV-C); a positive bias trades
 	// throughput for fairness. Both endpoints know D_{i,j}, so the biased
 	// quality stays consensual.
-	FairnessBiasDB float64
+	FairnessBiasDB units.DB
 }
 
 // DefaultParams returns the paper's chosen configuration

@@ -7,6 +7,7 @@ import (
 	"mmv2v/internal/medium"
 	"mmv2v/internal/phy"
 	"mmv2v/internal/udt"
+	"mmv2v/internal/units"
 )
 
 // Explicit beam refinement: when Params.ExplicitRefinement is set, the
@@ -47,7 +48,7 @@ type refineState struct {
 	coarse int
 	// bestIdx/bestSNR track the strongest decoded peer probe.
 	bestIdx int
-	bestSNR float64
+	bestSNR units.DB
 	gotAny  bool
 	// fbIdx is the beam index the peer reported back (-1 until received).
 	fbIdx int

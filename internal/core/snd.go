@@ -164,7 +164,7 @@ func (p *Protocol) onSSW(me, senseSector int, d medium.Delivery) {
 		p.obsDiscoveries.Inc()
 		p.env.Trace.Emit(trace.Event{
 			At: d.At, Frame: p.frame, Kind: trace.KindDiscovery,
-			A: me, B: msg.from, Value: d.SNRdB,
+			A: me, B: msg.from, Value: d.SNRdB.Decibels(),
 		})
 	}
 	// A sweep can be heard on adjacent sensing sectors through the Gaussian

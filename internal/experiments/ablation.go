@@ -9,6 +9,7 @@ import (
 	"mmv2v/internal/geom"
 	"mmv2v/internal/metrics"
 	"mmv2v/internal/sim"
+	"mmv2v/internal/units"
 )
 
 // AblationOptions parameterize the ablation study (our addition, motivated
@@ -63,7 +64,7 @@ func Ablation(opts AblationOptions) (*AblationResult, error) {
 		{"role probability p=0.7", core.Factory(withP(0.7)), nil},
 		{"single discovery round (K=1)", core.Factory(withK(1)), nil},
 		{"sparse negotiation (M=10)", core.Factory(withM(10)), nil},
-		{"fairness-biased matching (+10 dB)", core.Factory(withFairness(10)), nil},
+		{"fairness-biased matching (+10 dB)", core.Factory(withFairness(units.DB(10))), nil},
 		{"beam tracking in UDT", core.Factory(withTracking()), nil},
 		{"GPS sync error ±5 µs", core.Factory(withJitter(5 * time.Microsecond)), nil},
 		{"explicit on-air refinement", core.Factory(withExplicitRefinement()), nil},
@@ -94,13 +95,13 @@ func Ablation(opts AblationOptions) (*AblationResult, error) {
 	return &AblationResult{Opts: opts, Rows: rows}, nil
 }
 
-func withCodebookRx(rxWidth float64) core.Params {
+func withCodebookRx(rxWidth units.Radian) core.Params {
 	p := core.DefaultParams()
 	p.Codebook.RxWidth = rxWidth
 	return p
 }
 
-func withCodebookTx(txWidth float64) core.Params {
+func withCodebookTx(txWidth units.Radian) core.Params {
 	p := core.DefaultParams()
 	p.Codebook.TxWidth = txWidth
 	return p
@@ -124,7 +125,7 @@ func withM(m int) core.Params {
 	return p
 }
 
-func withFairness(biasDB float64) core.Params {
+func withFairness(biasDB units.DB) core.Params {
 	p := core.DefaultParams()
 	p.FairnessBiasDB = biasDB
 	return p

@@ -16,6 +16,8 @@ package faults
 import (
 	"fmt"
 	"time"
+
+	"mmv2v/internal/units"
 )
 
 // Config parameterizes the four fault processes. The zero value disables
@@ -30,18 +32,18 @@ type Config struct {
 	// blockage burst — a pedestrian, cyclist or rain fade crossing the link.
 	// Bursts follow a Gilbert–Elliott on/off chain sampled every 5 ms.
 	BlockageRatePerSec float64
-	// BlockageMeanSec is the mean burst duration in seconds.
-	BlockageMeanSec float64
+	// BlockageMeanSec is the mean burst duration.
+	BlockageMeanSec units.Sec
 	// BlockageExtraLossDB is the extra attenuation applied to a pair's path
 	// gain while the pair is inside a burst.
-	BlockageExtraLossDB float64
+	BlockageExtraLossDB units.DB
 	// RadioMeanUpSec is a vehicle radio's mean up-time before it silently
 	// fails (exponential); 0 disables radio churn.
-	RadioMeanUpSec float64
+	RadioMeanUpSec units.Sec
 	// RadioMeanDownSec is the mean outage duration before the radio
 	// recovers (exponential). While down, the vehicle neither transmits,
 	// receives nor interferes.
-	RadioMeanDownSec float64
+	RadioMeanDownSec units.Sec
 	// SlotJitterMax delays every control transmission by an independent
 	// uniform [0, SlotJitterMax) offset, modeling imperfect slot clocks;
 	// late frames can spill past a receiver's re-aim and become undecodable.
@@ -113,7 +115,7 @@ func (c Config) Scale(intensity float64) Config {
 	out.ControlLossP = min(1, c.ControlLossP*intensity)
 	out.BlockageRatePerSec = c.BlockageRatePerSec * intensity
 	if c.RadioMeanUpSec > 0 {
-		out.RadioMeanUpSec = c.RadioMeanUpSec / intensity
+		out.RadioMeanUpSec = c.RadioMeanUpSec.Div(intensity)
 	}
 	out.SlotJitterMax = time.Duration(float64(c.SlotJitterMax) * intensity)
 	return out

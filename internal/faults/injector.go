@@ -6,6 +6,7 @@ import (
 
 	"mmv2v/internal/des"
 	"mmv2v/internal/obs"
+	"mmv2v/internal/units"
 	"mmv2v/internal/xrand"
 )
 
@@ -107,9 +108,9 @@ func NewInjector(cfg Config, seed uint64, clock Clock) *Injector {
 	}
 	if cfg.BlockageRatePerSec > 0 && cfg.BlockageMeanSec > 0 {
 		inj.pGoodBad = min(1, cfg.BlockageRatePerSec*tickSec)
-		inj.pBadGood = min(1, tickSec/cfg.BlockageMeanSec)
+		inj.pBadGood = min(1, tickSec/cfg.BlockageMeanSec.S())
 	}
-	inj.attenLin = math.Pow(10, -cfg.BlockageExtraLossDB/10)
+	inj.attenLin = (-cfg.BlockageExtraLossDB).Linear()
 	return inj
 }
 
@@ -180,10 +181,10 @@ func (f *Injector) RadioUp(i int, at des.Time) bool {
 }
 
 // expInterval draws vehicle i's k-th interval duration from an exponential
-// with the given mean (in seconds), as a pure function of (seed, i, k).
-func (f *Injector) expInterval(i int, k uint64, meanSec float64) des.Time {
+// with the given mean, as a pure function of (seed, i, k).
+func (f *Injector) expInterval(i int, k uint64, mean units.Sec) des.Time {
 	u := unit(f.seed, opRadio, uint64(i), k)
-	sec := -meanSec * math.Log(1-u)
+	sec := -mean.S() * math.Log(1-u)
 	return des.At(time.Duration(sec * float64(time.Second)))
 }
 

@@ -9,7 +9,11 @@
 // indexing, which starts at north and proceeds clockwise.
 package geom
 
-import "math"
+import (
+	"math"
+
+	"mmv2v/internal/units"
+)
 
 // Vec is a 2-D point or displacement in meters.
 type Vec struct {
@@ -33,10 +37,10 @@ func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
 func (v Vec) Cross(w Vec) float64 { return v.X*w.Y - v.Y*w.X }
 
 // Norm returns the Euclidean length of v.
-func (v Vec) Norm() float64 { return math.Hypot(v.X, v.Y) }
+func (v Vec) Norm() units.Meter { return units.Meter(math.Hypot(v.X, v.Y)) }
 
 // Dist returns the Euclidean distance between v and w.
-func (v Vec) Dist(w Vec) float64 { return math.Hypot(v.X-w.X, v.Y-w.Y) }
+func (v Vec) Dist(w Vec) units.Meter { return units.Meter(math.Hypot(v.X-w.X, v.Y-w.Y)) }
 
 // Bearing is a compass bearing in radians: 0 is north, clockwise positive,
 // normalized to [0, 2π).
@@ -59,7 +63,7 @@ func NormalizeBearing(b Bearing) Bearing {
 
 // AngleDiff returns the signed smallest rotation from bearing a to bearing b,
 // in (-π, π]. Positive means b is clockwise of a.
-func AngleDiff(a, b Bearing) float64 {
+func AngleDiff(a, b Bearing) units.Radian {
 	d := math.Mod(float64(b-a), 2*math.Pi)
 	switch {
 	case d > math.Pi:
@@ -67,18 +71,20 @@ func AngleDiff(a, b Bearing) float64 {
 	case d <= -math.Pi:
 		d += 2 * math.Pi
 	}
-	return d
+	return units.Radian(d)
 }
 
 // AbsAngleDiff returns the absolute smallest angle between two bearings,
 // in [0, π].
-func AbsAngleDiff(a, b Bearing) float64 { return math.Abs(AngleDiff(a, b)) }
+func AbsAngleDiff(a, b Bearing) units.Radian {
+	return units.Radian(math.Abs(AngleDiff(a, b).Rad()))
+}
 
 // Deg converts degrees to radians.
-func Deg(deg float64) float64 { return deg * math.Pi / 180 }
+func Deg(deg float64) units.Radian { return units.Degrees(deg) }
 
 // ToDeg converts radians to degrees.
-func ToDeg(rad float64) float64 { return rad * 180 / math.Pi }
+func ToDeg(rad units.Radian) float64 { return rad.Deg() }
 
 // Sectors describes an equal division of the horizon into S sectors indexed
 // clockwise from north, as used by the paper's synchronized sector sweep:
@@ -90,11 +96,11 @@ type Sectors struct {
 }
 
 // Pitch returns the angular interval θ = 2π/S between consecutive sectors.
-func (s Sectors) Pitch() float64 { return 2 * math.Pi / float64(s.Count) }
+func (s Sectors) Pitch() units.Radian { return units.Radian(2 * math.Pi / float64(s.Count)) }
 
 // Center returns the compass bearing of the center of sector i.
 func (s Sectors) Center(i int) Bearing {
-	return NormalizeBearing(Bearing(float64(i) * s.Pitch()))
+	return NormalizeBearing(Bearing(float64(i) * s.Pitch().Rad()))
 }
 
 // Opposite returns the index of the sector 180° away from sector i, i.e.
@@ -103,14 +109,14 @@ func (s Sectors) Opposite(i int) int { return (i + s.Count/2) % s.Count }
 
 // FromBearing returns the index of the sector whose center is nearest to b.
 func (s Sectors) FromBearing(b Bearing) int {
-	pitch := s.Pitch()
+	pitch := s.Pitch().Rad()
 	i := int(math.Round(float64(NormalizeBearing(b)) / pitch))
 	return i % s.Count
 }
 
 // Contains reports whether bearing b falls within ±width/2 of the center of
-// sector i (width in radians).
-func (s Sectors) Contains(i int, b Bearing, width float64) bool {
+// sector i.
+func (s Sectors) Contains(i int, b Bearing, width units.Radian) bool {
 	return AbsAngleDiff(s.Center(i), b) <= width/2
 }
 

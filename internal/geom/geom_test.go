@@ -86,7 +86,7 @@ func TestAngleDiff(t *testing.T) {
 		{0.1, 2*math.Pi - 0.1, -0.2},       // near-wrap
 	}
 	for _, tt := range tests {
-		if got := AngleDiff(Bearing(tt.a), Bearing(tt.b)); !almostEq(got, tt.want, 1e-12) {
+		if got := AngleDiff(Bearing(tt.a), Bearing(tt.b)); !almostEq(got.Rad(), tt.want, 1e-12) {
 			t.Errorf("AngleDiff(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
 		}
 	}
@@ -101,7 +101,7 @@ func TestAngleDiffProperties(t *testing.T) {
 		if d <= -math.Pi || d > math.Pi+1e-9 {
 			return false
 		}
-		got := NormalizeBearing(Bearing(a + d))
+		got := NormalizeBearing(Bearing(a + d.Rad()))
 		want := NormalizeBearing(Bearing(b))
 		return AbsAngleDiff(got, want) < 1e-6
 	}
@@ -112,7 +112,7 @@ func TestAngleDiffProperties(t *testing.T) {
 
 func TestSectors(t *testing.T) {
 	s := Sectors{Count: 24}
-	if got := s.Pitch(); !almostEq(got, Deg(15), 1e-12) {
+	if got := s.Pitch(); !almostEq(got.Rad(), Deg(15).Rad(), 1e-12) {
 		t.Errorf("Pitch = %v, want 15°", ToDeg(got))
 	}
 	if got := float64(s.Center(0)); got != 0 {

@@ -58,6 +58,21 @@ func TestPassesOnFixtures(t *testing.T) {
 			pass: "errdrop",
 			want: []string{
 				"pkg/pkg.go:20: errdrop",
+				"pkg/pkg.go:44: errdrop",
+				"pkg/pkg.go:56: errdrop",
+			},
+		},
+		{
+			pass: "unitcheck",
+			want: []string{
+				"pkg/pkg.go:16: unitcheck",
+				"pkg/pkg.go:21: unitcheck",
+				"pkg/pkg.go:47: unitcheck",
+				"pkg/pkg.go:52: unitcheck",
+				"pkg/pkg.go:57: unitcheck",
+				"pkg/pkg.go:67: unitcheck",
+				"pkg/pkg.go:86: unitcheck",
+				"pkg/pkg.go:91: unitcheck",
 			},
 		},
 	}
@@ -133,6 +148,33 @@ func TestDirFilter(t *testing.T) {
 	}
 	if len(findings) != 4 {
 		t.Errorf("internal/clocked should have 4 findings, got %v", findings)
+	}
+}
+
+// TestLoadErrors covers the loader's failure paths: a syntax-error file, an
+// import of a module-internal package with no source directory, and an
+// import cycle must each come back as a load error — the cmd's exit-2
+// contract — never as a panic or as findings.
+func TestLoadErrors(t *testing.T) {
+	cases := []struct {
+		fixture string
+		want    string // substring of the load error
+	}{
+		{"syntax", "expected"},
+		{"missing", "no source directory"},
+		{"cycle", "import cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			root := filepath.Join("testdata", "broken", tc.fixture)
+			findings, err := Run(root, Options{})
+			if err == nil {
+				t.Fatalf("Run(%s) = %v findings, want load error", root, findings)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Run(%s) error %q does not mention %q", root, err, tc.want)
+			}
+		})
 	}
 }
 

@@ -46,8 +46,13 @@ func Passes() []Pass {
 		},
 		{
 			Name: "errdrop",
-			Doc:  "a call whose only result is error must not be a bare expression statement",
+			Doc:  "a call whose only result is error must not be a bare expression, defer or go statement",
 			run:  runErrDrop,
+		},
+		{
+			Name: "unitcheck",
+			Doc:  "physical-units analysis over the internal/units types: no laundering conversions, raw literals into unit parameters, or dimensionally wrong same-unit arithmetic without //mmv2v:unitless",
+			run:  runUnitCheck,
 		},
 	}
 }
@@ -222,27 +227,39 @@ func isConst(p *Package, e ast.Expr) bool {
 	return p.Info.Types[e].Value != nil
 }
 
-// runErrDrop flags expression statements that call a function whose only
-// result is an error: the error vanishes silently. Handle it, or assign it
-// away explicitly (_ = f()) so the drop is visible in review.
+// runErrDrop flags statements that call a function whose only result is an
+// error and discard it: bare expression statements, and defer/go statements,
+// where the deferred or spawned call's error vanishes silently. Handle it,
+// or assign it away explicitly (_ = f(), defer func() { _ = f() }()) so the
+// drop is visible in review.
 func runErrDrop(p *Package) []Finding {
 	errType := types.Universe.Lookup("error").Type()
 	var out []Finding
 	inspect(p, func(n ast.Node) {
-		stmt, ok := n.(*ast.ExprStmt)
-		if !ok {
-			return
+		var (
+			call *ast.CallExpr
+			kind string
+		)
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = stmt.X.(*ast.CallExpr)
+			kind = "silently dropped"
+		case *ast.DeferStmt:
+			call = stmt.Call
+			kind = "silently dropped by defer"
+		case *ast.GoStmt:
+			call = stmt.Call
+			kind = "silently dropped by go"
 		}
-		call, ok := stmt.X.(*ast.CallExpr)
-		if !ok {
+		if call == nil {
 			return
 		}
 		t := p.Info.TypeOf(call)
 		if t == nil || !types.Identical(t, errType) {
 			return
 		}
-		out = append(out, finding(p, stmt.Pos(), "errdrop",
-			"result of type error is silently dropped; handle it or assign it explicitly"))
+		out = append(out, finding(p, n.Pos(), "errdrop",
+			fmt.Sprintf("result of type error is %s; handle it or assign it explicitly", kind)))
 	})
 	return out
 }

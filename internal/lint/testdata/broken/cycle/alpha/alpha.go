@@ -1,0 +1,7 @@
+// Package alpha is half of a deliberate import cycle.
+package alpha
+
+import "fixture/beta"
+
+// A references beta so the import survives formatting.
+const A = beta.B + 1

@@ -1,0 +1,7 @@
+// Package beta closes the cycle back through alpha.
+package beta
+
+import "fixture/alpha"
+
+// B references alpha so the import survives formatting.
+const B = alpha.A + 1

@@ -1,0 +1,7 @@
+// Package pkg imports a module-internal package with no source directory:
+// the loader must report it, not panic.
+package pkg
+
+import "fixture/nowhere"
+
+var _ = nowhere.Missing

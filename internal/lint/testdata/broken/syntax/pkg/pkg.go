@@ -1,0 +1,4 @@
+// Package pkg fails to parse: the loader must surface the syntax error.
+package pkg
+
+func Broken( {

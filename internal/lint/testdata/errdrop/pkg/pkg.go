@@ -38,3 +38,26 @@ func Handled() error {
 func MultiResult() {
 	Write(nil)
 }
+
+// DeferredDrop discards Close's error through defer: one finding.
+func DeferredDrop() {
+	defer Close()
+}
+
+// DeferredHandled wraps the deferred call so the drop is explicit: no
+// finding.
+func DeferredHandled() {
+	defer func() { _ = Close() }()
+}
+
+// GoDrop discards Close's error in a spawned goroutine: one finding (the
+// goroutine pass flags the go statement separately).
+func GoDrop() {
+	go Close()
+}
+
+// DeferredMultiResult defers a (count, error) call: outside this pass's
+// contract, no finding.
+func DeferredMultiResult() {
+	defer Write(nil)
+}

@@ -1,0 +1,110 @@
+// Package pkg exercises the unitcheck pass: laundering conversions,
+// dimensionally wrong same-unit arithmetic, and raw literals flowing into
+// unit-typed parameters all fire; sanctioned boundaries (conversions into
+// the unit system, named accessors, constant scales, other packages' named
+// types, the zero literal, //mmv2v:unitless directives) stay silent.
+package pkg
+
+import "fixture/units"
+
+// Bearing is this package's own typed domain: converting a unit into it is
+// a sanctioned boundary crossing, not laundering.
+type Bearing float64
+
+// Relabel converts dB straight to dBm: one finding.
+func Relabel(g units.DB) units.DBm {
+	return units.DBm(g)
+}
+
+// Launder drops the dimension through float64: one finding.
+func Launder(d units.Meter) float64 {
+	return float64(d)
+}
+
+// LaunderJustified carries the directive on the line above: suppressed.
+func LaunderJustified(d units.Meter) float64 {
+	//mmv2v:unitless interop with a third-party math helper that takes bare floats
+	return float64(d)
+}
+
+// Accessor leaves the unit system through the named accessor: no finding.
+func Accessor(d units.Meter) float64 {
+	return d.M()
+}
+
+// Assert converts a bare float into the unit system: no finding.
+func Assert(x float64) units.Meter {
+	return units.Meter(x)
+}
+
+// CrossDomain converts into another package's named type: no finding.
+func CrossDomain(d units.Meter) Bearing {
+	return Bearing(d)
+}
+
+// Area multiplies two distances: one finding (m² has no type here).
+func Area(a, b units.Meter) units.Meter {
+	return a * b
+}
+
+// LogProduct multiplies two log-domain gains: one finding.
+func LogProduct(a, b units.DB) units.DB {
+	return a * b
+}
+
+// Ratio divides two distances: one finding (use Over).
+func Ratio(a, b units.Meter) units.Meter {
+	return a / b
+}
+
+// RatioOver uses the sanctioned accessor: no finding.
+func RatioOver(a, b units.Meter) float64 {
+	return a.Over(b)
+}
+
+// AbsoluteSum adds two absolute dBm powers: one finding.
+func AbsoluteSum(a, b units.DBm) units.DBm {
+	return a + b
+}
+
+// GainSum adds two relative dB gains — log-domain composition: no finding.
+func GainSum(a, b units.DB) units.DB {
+	return a + b
+}
+
+// HalfWidth scales by an untyped constant: no finding.
+func HalfWidth(w units.Meter) units.Meter {
+	return w / 2
+}
+
+// take anchors the raw-literal parameter check.
+func take(d units.Meter) units.Meter { return d }
+
+// RawLiteral passes a bare nonzero literal where Meter is declared: one
+// finding.
+func RawLiteral() units.Meter {
+	return take(50)
+}
+
+// NegativeRawLiteral fires through unary minus too: one finding.
+func NegativeRawLiteral() units.Meter {
+	return take(-50)
+}
+
+// ZeroLiteral is exempt — zero is zero in every unit: no finding.
+func ZeroLiteral() units.Meter {
+	return take(0)
+}
+
+// defaultRange carries the dimension at its declaration: no finding.
+const defaultRange = 120.5
+
+// NamedConstant passes a named constant: no finding.
+func NamedConstant() units.Meter {
+	return take(defaultRange)
+}
+
+// RawLiteralJustified carries the directive on its line: suppressed.
+func RawLiteralJustified() units.Meter {
+	return take(75) //mmv2v:unitless value echoed from a spec table that is unitless by construction
+}

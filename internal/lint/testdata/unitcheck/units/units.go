@@ -1,0 +1,22 @@
+// Package units is the fixture's miniature unit vocabulary: the pass keys
+// on defined float64 types declared in a package named "units", so these
+// four stand in for the real internal/units set.
+package units
+
+// DB is a relative log-domain power ratio.
+type DB float64
+
+// DBm is an absolute log-domain power.
+type DBm float64
+
+// MilliWatt is an absolute linear power.
+type MilliWatt float64
+
+// Meter is a distance.
+type Meter float64
+
+// M returns the raw value in meters.
+func (m Meter) M() float64 { return float64(m) }
+
+// Over returns the dimensionless ratio m/o.
+func (m Meter) Over(o Meter) float64 { return float64(m) / float64(o) }

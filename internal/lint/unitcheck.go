@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// unitcheck is the physical-units analysis (DESIGN.md §8). The unit
+// vocabulary is the set of defined float64 types declared in a package named
+// "units" (internal/units in this repo): DB, DBm, MilliWatt, Meter, ... .
+// Because they are defined types, the Go type checker already propagates
+// them interprocedurally — through assignments, call arguments, returns and
+// composite literals — and rejects cross-unit arithmetic outright. What the
+// compiler cannot reject are the escape hatches that launder a dimension
+// away, and those are exactly what this pass closes:
+//
+//   - a conversion from one unit type to another (units.DB → units.DBm)
+//     relabels a dimension without arithmetic;
+//   - a conversion from a unit type to a bare numeric type (float64(dist))
+//     drops the dimension so downstream code can mix it with anything;
+//   - a product or quotient of two same-unit values type-checks as that unit
+//     but is dimensionally wrong (m·m is an area; dB·dB is meaningless —
+//     log-domain values compose by addition);
+//   - a sum or difference of two absolute dBm powers type-checks as dBm but
+//     absolute powers do not add in the log domain;
+//   - a raw numeric literal passed where a unit-typed parameter is expected
+//     converts implicitly, hiding the dimension the caller asserted.
+//
+// Sanctioned boundaries never fire: named accessors (Meter.M, DB.Decibels)
+// are method calls, not conversions; conversions INTO a unit type from a
+// bare float64 are dimension assertions; conversions to a non-unit named
+// type (geom.Bearing, time.Duration) cross into another package's own typed
+// domain; scaling by an untyped constant is dimensionless. The zero literal
+// is exempt everywhere (zero is zero in every unit). A //mmv2v:unitless
+// directive with a one-line justification suppresses a finding on or
+// directly above its line. The units package itself is the conversion
+// authority and is exempt wholesale.
+
+// unitTypeName returns the type's name if it is a defined float64 type from
+// a package named "units".
+func unitTypeName(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "units" {
+		return "", false
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Float64 {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// runUnitCheck applies the physical-units checks to one package.
+func runUnitCheck(p *Package) []Finding {
+	if p.Types != nil && p.Types.Name() == "units" {
+		return nil
+	}
+	var out []Finding
+	inspect(p, func(n ast.Node) {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			out = append(out, unitConversion(p, e)...)
+			out = append(out, unitRawArgs(p, e)...)
+		case *ast.BinaryExpr:
+			out = append(out, unitBinary(p, e)...)
+		}
+	})
+	return out
+}
+
+// unitConversion flags conversions that take a unit-typed value out of its
+// dimension: cross-unit relabeling and escapes to bare numeric types.
+func unitConversion(p *Package, call *ast.CallExpr) []Finding {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return nil
+	}
+	src := p.Info.TypeOf(call.Args[0])
+	if src == nil {
+		return nil
+	}
+	srcName, srcIsUnit := unitTypeName(src)
+	if !srcIsUnit {
+		return nil // converting into the unit system asserts a dimension
+	}
+	dstName, dstIsUnit := unitTypeName(tv.Type)
+	if dstIsUnit {
+		if srcName == dstName {
+			return nil
+		}
+		if p.suppressed("unitless", call.Pos()) {
+			return nil
+		}
+		return []Finding{finding(p, call.Pos(), "unitcheck",
+			fmt.Sprintf("conversion %s(%s value) relabels one dimension as another; use a named conversion in the units package or justify with //mmv2v:unitless", dstName, srcName))}
+	}
+	if _, bare := tv.Type.Underlying().(*types.Basic); !bare {
+		return nil
+	}
+	if _, named := tv.Type.(*types.Named); named {
+		return nil // another package's own typed domain (geom.Bearing, ...)
+	}
+	if p.suppressed("unitless", call.Pos()) {
+		return nil
+	}
+	return []Finding{finding(p, call.Pos(), "unitcheck",
+		fmt.Sprintf("%s(%s value) drops the dimension; use the unit's named accessor or justify with //mmv2v:unitless", tv.Type, srcName))}
+}
+
+// unitBinary flags dimensionally wrong arithmetic that nevertheless
+// type-checks because both operands share one unit type.
+func unitBinary(p *Package, be *ast.BinaryExpr) []Finding {
+	xName, xIsUnit := unitTypeName(p.Info.TypeOf(be.X))
+	yName, yIsUnit := unitTypeName(p.Info.TypeOf(be.Y))
+	if !xIsUnit || !yIsUnit || xName != yName {
+		return nil
+	}
+	// An untyped-constant operand is a dimensionless scale (width/2): fine.
+	if isConst(p, be.X) || isConst(p, be.Y) {
+		return nil
+	}
+	logDomain := xName == "DB" || xName == "DBm"
+	var msg string
+	switch be.Op {
+	case token.MUL:
+		if logDomain {
+			msg = fmt.Sprintf("product of two log-domain %s values is meaningless (dB quantities compose by +); convert with Linear() or justify with //mmv2v:unitless", xName)
+		} else {
+			msg = fmt.Sprintf("product of two %s values leaves the unit system (%s² has no type here); scale with Times or justify with //mmv2v:unitless", xName, xName)
+		}
+	case token.QUO:
+		if logDomain {
+			msg = fmt.Sprintf("quotient of two log-domain %s values is meaningless (dB ratios are differences); subtract or use RatioDB, or justify with //mmv2v:unitless", xName)
+		} else {
+			msg = fmt.Sprintf("quotient of two %s values is a dimensionless ratio typed as %s; use Over, or justify with //mmv2v:unitless", xName, xName)
+		}
+	case token.ADD, token.SUB:
+		if xName != "DBm" {
+			return nil
+		}
+		msg = "two absolute dBm powers do not add in the log domain; apply gains with Plus(DB), form ratios with Minus, or justify with //mmv2v:unitless"
+	default:
+		return nil
+	}
+	if p.suppressed("unitless", be.Pos()) {
+		return nil
+	}
+	return []Finding{finding(p, be.Pos(), "unitcheck", msg)}
+}
+
+// unitRawArgs flags raw nonzero numeric literals passed where a unit-typed
+// parameter is declared: the implicit conversion hides the dimension the
+// caller is asserting. Named constants and constant expressions built from
+// them are exempt (their declaration carries the intent), as is the zero
+// literal.
+func unitRawArgs(p *Package, call *ast.CallExpr) []Finding {
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return nil // a conversion is itself the dimension assertion
+	}
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return nil // builtin or type error
+	}
+	params := sig.Params()
+	var out []Finding
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			sl, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = sl.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		name, isUnit := unitTypeName(pt)
+		if !isUnit || !isRawNumericLiteral(arg) {
+			continue
+		}
+		if v := p.Info.Types[arg].Value; v != nil {
+			//mmv2v:exact the literal 0 is exactly representable; only the spelled-out zero literal is unit-free
+			if f, _ := constant.Float64Val(constant.ToFloat(v)); f == 0 {
+				continue // zero is zero in every unit
+			}
+		}
+		if p.suppressed("unitless", arg.Pos()) {
+			continue
+		}
+		out = append(out, finding(p, arg.Pos(), "unitcheck",
+			fmt.Sprintf("raw literal converts implicitly to parameter type %s; write the dimension as units.%s(...) or justify with //mmv2v:unitless", name, name)))
+	}
+	return out
+}
+
+// isRawNumericLiteral reports whether the expression is a bare INT or FLOAT
+// literal, possibly parenthesized or under unary +/-.
+func isRawNumericLiteral(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return v.Kind == token.INT || v.Kind == token.FLOAT
+	case *ast.ParenExpr:
+		return isRawNumericLiteral(v.X)
+	case *ast.UnaryExpr:
+		return (v.Op == token.SUB || v.Op == token.ADD) && isRawNumericLiteral(v.X)
+	}
+	return false
+}

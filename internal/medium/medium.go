@@ -21,10 +21,10 @@ import (
 	"fmt"
 	"time"
 
-	"mmv2v/internal/channel"
 	"mmv2v/internal/des"
 	"mmv2v/internal/obs"
 	"mmv2v/internal/phy"
+	"mmv2v/internal/units"
 	"mmv2v/internal/world"
 )
 
@@ -35,10 +35,10 @@ type Delivery struct {
 	Payload any
 	// SINRdB is the signal-to-interference-plus-noise ratio the frame was
 	// decoded at (Eq. 3).
-	SINRdB float64
+	SINRdB units.DB
 	// SNRdB is the interference-free link quality (RSSI over noise) — what
 	// a receiver's range/admission filter sees.
-	SNRdB float64
+	SNRdB units.DB
 	At    des.Time
 }
 
@@ -300,7 +300,7 @@ func (m *Medium) deliverGroup(group []*transmission) {
 				groupStart = g.start
 			}
 		}
-		total := 0.0
+		total := units.MilliWatt(0)
 		selfBusy := false
 		for _, tx := range m.active {
 			if !overlaps(tx.start, tx.end, groupStart, now) {
@@ -336,8 +336,8 @@ func (m *Medium) deliverGroup(group []*transmission) {
 			if desired == 0 {
 				continue
 			}
-			sinr := channel.DB(desired / (noise + (total - desired)))
-			m.obsControlSINRdB.Observe(sinr)
+			sinr := units.RatioDB(desired, noise+(total-desired))
+			m.obsControlSINRdB.Observe(sinr.Decibels())
 			if phy.ControlDecodable(sinr) {
 				if m.faults != nil && m.faults.DropControl(g.from, j, now) {
 					m.FaultLost++
@@ -353,7 +353,7 @@ func (m *Medium) deliverGroup(group []*transmission) {
 					To:      j,
 					Payload: g.payload,
 					SINRdB:  sinr,
-					SNRdB:   channel.DB(desired / noise),
+					SNRdB:   units.RatioDB(desired, noise),
 					At:      m.sim.Now(),
 				})
 				if !l.active {
@@ -369,11 +369,11 @@ func (m *Medium) deliverGroup(group []*transmission) {
 	}
 }
 
-// SINRNow returns the instantaneous data-plane SINR (dB) from tx to rx with
-// the given beams. All active signals except those transmitted by tx or rx
+// SINRNow returns the instantaneous data-plane SINR from tx to rx with the
+// given beams. All active signals except those transmitted by tx or rx
 // count as interference (rx cannot receive while transmitting — callers
 // handle TDD — and tx's own stream is the desired signal).
-func (m *Medium) SINRNow(tx, rx int, txBeam, rxBeam phy.Beam) float64 {
+func (m *Medium) SINRNow(tx, rx int, txBeam, rxBeam phy.Beam) units.DB {
 	now := m.sim.Now()
 	if m.faults != nil && (!m.faults.RadioUp(tx, now) || !m.faults.RadioUp(rx, now)) {
 		return -300
@@ -383,7 +383,7 @@ func (m *Medium) SINRNow(tx, rx int, txBeam, rxBeam phy.Beam) float64 {
 	if desired == 0 {
 		return -300
 	}
-	interference := 0.0
+	interference := units.MilliWatt(0)
 	for _, t := range m.active {
 		if t.from == tx || t.from == rx {
 			continue
@@ -396,7 +396,7 @@ func (m *Medium) SINRNow(tx, rx int, txBeam, rxBeam phy.Beam) float64 {
 		}
 		interference += m.w.RxPowerMw(t.from, rx, t.beam, rxBeam)
 	}
-	return channel.DB(desired / (m.w.Channel().NoiseMw() + interference))
+	return units.RatioDB(desired, m.w.Channel().NoiseMw()+interference)
 }
 
 // Reset clears all transmissions and listeners (used between frames or

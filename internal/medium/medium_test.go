@@ -9,6 +9,7 @@ import (
 	"mmv2v/internal/geom"
 	"mmv2v/internal/phy"
 	"mmv2v/internal/traffic"
+	"mmv2v/internal/units"
 	"mmv2v/internal/world"
 	"mmv2v/internal/xrand"
 )
@@ -39,7 +40,7 @@ func lineWorld(t *testing.T, lanes []int, positions []float64) (*world.World, *d
 }
 
 // aim returns beams pointing from i to j and from j to i with given widths.
-func aim(w *world.World, i, j int, txW, rxW float64) (phy.Beam, phy.Beam) {
+func aim(w *world.World, i, j int, txW, rxW units.Radian) (phy.Beam, phy.Beam) {
 	l, ok := w.Link(i, j)
 	if !ok {
 		panic("no link")
@@ -394,7 +395,7 @@ func TestDeliveryCarriesBothSNRAndSINR(t *testing.T) {
 	if clean.SNRdB == 0 {
 		t.Fatal("no delivery")
 	}
-	if math.Abs(clean.SNRdB-clean.SINRdB) > 1e-9 {
+	if math.Abs((clean.SNRdB - clean.SINRdB).Decibels()) > 1e-9 {
 		t.Errorf("clean channel: SNR %v != SINR %v", clean.SNRdB, clean.SINRdB)
 	}
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mmv2v/internal/geom"
+	"mmv2v/internal/units"
 )
 
 // MCS is an 802.11ad modulation-and-coding-scheme index (0 = control PHY,
@@ -21,7 +22,7 @@ type MCS int
 // mcsEntry pairs a PHY rate with the SNR it requires.
 type mcsEntry struct {
 	rateBps  float64
-	minSNRdB float64
+	minSNRdB units.DB
 }
 
 // mcsTable lists the 802.11ad control + SC PHY rates. The paper does not
@@ -56,9 +57,9 @@ func (m MCS) Rate() float64 {
 }
 
 // MinSNRdB returns the SNR threshold required to operate the MCS.
-func (m MCS) MinSNRdB() float64 {
+func (m MCS) MinSNRdB() units.DB {
 	if m < 0 || int(m) >= len(mcsTable) {
-		return math.Inf(1)
+		return units.DB(math.Inf(1))
 	}
 	return mcsTable[m].minSNRdB
 }
@@ -66,7 +67,7 @@ func (m MCS) MinSNRdB() float64 {
 // MaxEVM returns the maximum tolerable error vector magnitude for the MCS,
 // derived from the paper's cited rule EVM = SINR^{-1/2} (linear SINR).
 func (m MCS) MaxEVM() float64 {
-	return 1 / math.Sqrt(math.Pow(10, m.MinSNRdB()/10))
+	return 1 / math.Sqrt(m.MinSNRdB().Linear())
 }
 
 func (m MCS) String() string { return fmt.Sprintf("MCS%d", int(m)) }
@@ -75,10 +76,10 @@ func (m MCS) String() string { return fmt.Sprintf("MCS%d", int(m)) }
 // whether even the control PHY is decodable. MCS0 is reserved for control;
 // data transmission uses MCS1–12, so a SINR between the MCS0 and MCS1
 // thresholds yields (MCS0, true) but DataRate of 0.
-func BestMCS(sinrDB float64) (MCS, bool) {
+func BestMCS(sinr units.DB) (MCS, bool) {
 	best := MCS(-1)
 	for i := range mcsTable {
-		if sinrDB >= mcsTable[i].minSNRdB {
+		if sinr >= mcsTable[i].minSNRdB {
 			best = MCS(i)
 		}
 	}
@@ -87,8 +88,8 @@ func BestMCS(sinrDB float64) (MCS, bool) {
 
 // DataRate returns the data-PHY rate (bps) achievable at a SINR: the rate of
 // the best MCS ≥ 1, or 0 if the link cannot carry data.
-func DataRate(sinrDB float64) float64 {
-	m, ok := BestMCS(sinrDB)
+func DataRate(sinr units.DB) float64 {
+	m, ok := BestMCS(sinr)
 	if !ok || m < 1 {
 		return 0
 	}
@@ -97,12 +98,12 @@ func DataRate(sinrDB float64) float64 {
 
 // ControlDecodable reports whether a control-PHY frame (MCS0) is decodable
 // at the given SINR.
-func ControlDecodable(sinrDB float64) bool { return sinrDB >= mcsTable[0].minSNRdB }
+func ControlDecodable(sinr units.DB) bool { return sinr >= mcsTable[0].minSNRdB }
 
 // EVMFromSINR converts a SINR in dB to EVM via the paper's cited rule
 // (ref [14]): EVM = SINR^{-1/2} with SINR linear.
-func EVMFromSINR(sinrDB float64) float64 {
-	return 1 / math.Sqrt(math.Pow(10, sinrDB/10))
+func EVMFromSINR(sinr units.DB) float64 {
+	return 1 / math.Sqrt(sinr.Linear())
 }
 
 // Timing collects the control-plane durations from Sec. IV-A.
@@ -162,11 +163,11 @@ type Codebook struct {
 	// Sectors is the sector grid (paper: S = 24, pitch θ = 15°).
 	Sectors geom.Sectors
 	// TxWidth is the sector-sweep transmit beam width α (paper: 30°).
-	TxWidth float64
+	TxWidth units.Radian
 	// RxWidth is the sector-sense receive beam width β (paper: 12°).
-	RxWidth float64
+	RxWidth units.Radian
 	// NarrowWidth is the refined-beam width and pitch θ_min (DESIGN.md: 3°).
-	NarrowWidth float64
+	NarrowWidth units.Radian
 }
 
 // DefaultCodebook returns the paper's beam configuration.
@@ -195,7 +196,7 @@ func (c Codebook) Validate() error {
 // RefinementBeams returns s = ⌊θ/θ_min⌋ + 1, the number of narrow beams each
 // side searches during UDT beam refinement (Sec. III-D).
 func (c Codebook) RefinementBeams() int {
-	return int(math.Floor(c.Sectors.Pitch()/c.NarrowWidth)) + 1
+	return int(math.Floor(c.Sectors.Pitch().Over(c.NarrowWidth))) + 1
 }
 
 // NarrowBeamBearing returns the bearing of the k-th refinement beam
@@ -203,7 +204,7 @@ func (c Codebook) RefinementBeams() int {
 // tile ±θ/2 around it at θ_min pitch.
 func (c Codebook) NarrowBeamBearing(coarse geom.Bearing, k int) geom.Bearing {
 	s := c.RefinementBeams()
-	offset := (float64(k) - float64(s-1)/2) * c.NarrowWidth
+	offset := c.NarrowWidth.Times(float64(k) - float64(s-1)/2)
 	return geom.NormalizeBearing(coarse + geom.Bearing(offset))
 }
 
@@ -211,7 +212,7 @@ func (c Codebook) NarrowBeamBearing(coarse geom.Bearing, k int) geom.Bearing {
 // width. A zero-width beam means quasi-omni.
 type Beam struct {
 	Bearing geom.Bearing
-	Width   float64
+	Width   units.Radian
 }
 
 // Omni is the quasi-omni beam configuration.

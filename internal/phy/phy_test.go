@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mmv2v/internal/geom"
+	"mmv2v/internal/units"
 )
 
 func TestMCSRates(t *testing.T) {
@@ -37,7 +38,7 @@ func TestMCSMonotonic(t *testing.T) {
 
 func TestBestMCS(t *testing.T) {
 	tests := []struct {
-		sinr   float64
+		sinr   units.DB
 		want   MCS
 		wantOK bool
 	}{
@@ -76,7 +77,7 @@ func TestDataRateMonotonicProperty(t *testing.T) {
 	f := func(a, b float64) bool {
 		a = math.Mod(a, 40)
 		b = math.Mod(b, 40)
-		lo, hi := math.Min(a, b), math.Max(a, b)
+		lo, hi := units.DB(math.Min(a, b)), units.DB(math.Max(a, b))
 		return DataRate(lo) <= DataRate(hi)
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -192,13 +193,13 @@ func TestNarrowBeamTiling(t *testing.T) {
 	for k := 0; k < s-1; k++ {
 		b1 := cb.NarrowBeamBearing(coarse, k)
 		b2 := cb.NarrowBeamBearing(coarse, k+1)
-		if d := geom.AngleDiff(b1, b2); math.Abs(d-cb.NarrowWidth) > 1e-9 {
+		if d := geom.AngleDiff(b1, b2); math.Abs((d - cb.NarrowWidth).Rad()) > 1e-9 {
 			t.Errorf("beam pitch %v, want %v", d, cb.NarrowWidth)
 		}
 	}
 	first := cb.NarrowBeamBearing(coarse, 0)
 	last := cb.NarrowBeamBearing(coarse, s-1)
-	if math.Abs(geom.AngleDiff(first, coarse)) != math.Abs(geom.AngleDiff(coarse, last)) {
+	if math.Abs(geom.AngleDiff(first, coarse).Rad()) != math.Abs(geom.AngleDiff(coarse, last).Rad()) {
 		t.Error("refinement beams not symmetric around coarse bearing")
 	}
 	// The span must cover the sector pitch.

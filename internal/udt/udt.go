@@ -21,6 +21,7 @@ import (
 	"mmv2v/internal/phy"
 	"mmv2v/internal/sim"
 	"mmv2v/internal/trace"
+	"mmv2v/internal/units"
 )
 
 // mcsAirtimeNames precomputes the per-MCS airtime gauge names so the accrual
@@ -255,7 +256,7 @@ func bestNarrow(env *sim.Env, owner, peer int, cb phy.Codebook, coarseSector int
 	}
 	coarse := cb.Sectors.Center(coarseSector)
 	best := phy.Beam{Bearing: coarse, Width: cb.NarrowWidth}
-	bestOff := math.Inf(1)
+	bestOff := units.Radian(math.Inf(1))
 	for k := 0; k < cb.RefinementBeams(); k++ {
 		cand := cb.NarrowBeamBearing(coarse, k)
 		if off := geom.AbsAngleDiff(cand, lnk.Bearing); off < bestOff {

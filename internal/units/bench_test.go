@@ -1,0 +1,69 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// The benchmark pairs below pin the zero-overhead guarantee: a defined
+// float64 type is erased at compile time, so the units-typed form of the
+// Eq. 1 / Eq. 3 hot-path arithmetic must run at the same speed as the raw
+// float64 form it replaced (and the whole-pipeline world Refresh15vpl and
+// channel SINR benchmarks must show no delta either). Run both halves with
+//
+//	go test -bench=UnitOverhead -count=5 ./internal/units/
+//
+// and compare ns/op; any measurable gap is a regression in the units layer.
+
+var (
+	sinkF  float64
+	sinkDB DB
+)
+
+// rawPathLoss is Eq. 1 in bare float64, the pre-refactor form.
+func rawPathLoss(exp, offset, perBlocker, atmPerKm, dist float64, blockers int) float64 {
+	o := offset + float64(blockers)*perBlocker
+	return exp*10*math.Log10(dist) + o + atmPerKm*dist/1000
+}
+
+// typedPathLoss is Eq. 1 through the units vocabulary.
+func typedPathLoss(exp float64, offset, perBlocker DB, atmPerKm DB, dist Meter, blockers int) DB {
+	o := offset + perBlocker.Times(float64(blockers))
+	return DB(exp*10*math.Log10(dist.M())) + o + atmPerKm.Times(dist.M())/1000
+}
+
+func BenchmarkUnitOverheadPathLossRaw(b *testing.B) {
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		acc += rawPathLoss(2.66, 70, 15, 15, float64(1+i%250), i%4)
+	}
+	sinkF = acc
+}
+
+func BenchmarkUnitOverheadPathLossTyped(b *testing.B) {
+	acc := DB(0)
+	for i := 0; i < b.N; i++ {
+		acc += typedPathLoss(2.66, 70, 15, 15, Meter(1+i%250), i%4)
+	}
+	sinkDB = acc
+}
+
+func BenchmarkUnitOverheadSINRRaw(b *testing.B) {
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		desired := 1e-6 * float64(1+i%7)
+		interference := 1e-8 * float64(i%11)
+		acc += 10 * math.Log10(desired/(3.4e-8+interference))
+	}
+	sinkF = acc
+}
+
+func BenchmarkUnitOverheadSINRTyped(b *testing.B) {
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		desired := MilliWatt(1e-6 * float64(1+i%7))
+		interference := MilliWatt(1e-8 * float64(i%11))
+		acc += RatioDB(desired, 3.4e-8+interference).Decibels()
+	}
+	sinkF = acc
+}

@@ -1,0 +1,173 @@
+// Package units declares the dimensioned quantities of the mmV2V physics
+// stack as defined float64 types, and is the single conversion authority
+// between them (DESIGN.md §8). The paper's arithmetic mixes log-domain gains
+// (Eq. 1 path loss, Eq. 2 beam gains, Eq. 3 SINR, all in dB), absolute
+// powers (dBm configs, milliwatt link budgets), geometry (meters, radians)
+// and timings (seconds at several scales) — exactly the class of silent
+// unit-mixing bugs end-to-end mmWave simulators warn about. Giving each
+// quantity its own defined type makes the Go compiler reject cross-unit
+// arithmetic outright, and the `unitcheck` lint pass closes the remaining
+// escape hatches (bare float64 conversions, raw constants, log×linear
+// products).
+//
+// Conventions:
+//
+//   - Every type has underlying float64, so unit-typed arithmetic compiles
+//     to exactly the float64 ops it replaces (see bench_test.go) and fmt
+//     renders values byte-identically to plain floats — none of these types
+//     may ever grow a String method.
+//   - Leaving the unit system goes through a named accessor (Meter.M,
+//     DB.Decibels, Sec.Micros, ...): an audited, greppable boundary.
+//     Entering it is a plain conversion (units.Meter(50)); `unitcheck` flags
+//     raw float64(x) escapes and cross-unit conversions instead.
+//   - Dimensionless scalars (linear antenna/path gains, probabilities,
+//     ratios) stay bare float64. Scaling a quantity by a scalar uses
+//     Times/Div; a same-unit quotient uses Over, which returns the bare
+//     ratio instead of a nonsensically re-typed value.
+package units
+
+import (
+	"math"
+	"time"
+)
+
+// DB is a relative power quantity in decibels: path loss, antenna gain,
+// SINR, shadowing spread. Log-domain: add DBs to compose gains, never
+// multiply two DB values.
+type DB float64
+
+// DBm is an absolute power in decibels referenced to one milliwatt
+// (transmit power, noise floor). DBm + DB yields DBm via Plus.
+type DBm float64
+
+// MilliWatt is an absolute power in linear scale, the domain Eq. 3's SINR
+// numerators and interference sums live in.
+type MilliWatt float64
+
+// Meter is a distance or length.
+type Meter float64
+
+// MeterPerSec is a speed.
+type MeterPerSec float64
+
+// Sec is a time span in seconds (for rate/mean-duration style parameters;
+// event timestamps use des.Time and frame timings use time.Duration).
+type Sec float64
+
+// Hertz is a frequency or bandwidth.
+type Hertz float64
+
+// Radian is an angle or angular width. Compass bearings keep their own
+// geom.Bearing type; Radian covers beam widths, pitches and angle
+// differences.
+type Radian float64
+
+// LinearToDB converts a linear power ratio to decibels.
+func LinearToDB(ratio float64) DB { return DB(10 * math.Log10(ratio)) }
+
+// Linear converts a decibel ratio to linear scale.
+func (d DB) Linear() float64 { return math.Pow(10, float64(d)/10) }
+
+// Decibels returns the raw dB value for formatting, histograms and
+// threshold tables.
+func (d DB) Decibels() float64 { return float64(d) }
+
+// Times scales the dB quantity by a dimensionless factor (per-blocker
+// penalties, per-km absorption, σ·z shadowing draws).
+func (d DB) Times(f float64) DB { return DB(float64(d) * f) }
+
+// Div divides the dB quantity by a dimensionless factor.
+func (d DB) Div(f float64) DB { return DB(float64(d) / f) }
+
+// RatioDB returns num/den as a decibel ratio — the Eq. 3 SINR form. The
+// quotient of two absolute powers is dimensionless, so this is the only
+// sanctioned way to divide MilliWatt by MilliWatt into the log domain.
+func RatioDB(num, den MilliWatt) DB {
+	return DB(10 * math.Log10(float64(num)/float64(den)))
+}
+
+// DBmToMilliWatt converts an absolute power from dBm to milliwatts.
+func DBmToMilliWatt(p DBm) MilliWatt { return MilliWatt(math.Pow(10, float64(p)/10)) }
+
+// MilliWattToDBm converts an absolute power from milliwatts to dBm.
+func MilliWattToDBm(p MilliWatt) DBm { return DBm(10 * math.Log10(float64(p))) }
+
+// Plus applies a log-domain gain to an absolute power: dBm + dB = dBm.
+func (p DBm) Plus(g DB) DBm { return DBm(float64(p) + float64(g)) }
+
+// Minus returns the log-domain ratio of two absolute powers:
+// dBm − dBm = dB (the link-budget SNR form).
+func (p DBm) Minus(q DBm) DB { return DB(float64(p) - float64(q)) }
+
+// Decibels returns the raw dBm value.
+func (p DBm) Decibels() float64 { return float64(p) }
+
+// MW returns the raw milliwatt value.
+func (p MilliWatt) MW() float64 { return float64(p) }
+
+// Times scales the power by a dimensionless factor (linear beam and path
+// gains).
+func (p MilliWatt) Times(f float64) MilliWatt { return MilliWatt(float64(p) * f) }
+
+// Over returns the dimensionless ratio p/q of two absolute powers.
+func (p MilliWatt) Over(q MilliWatt) float64 { return float64(p) / float64(q) }
+
+// M returns the raw value in meters.
+func (m Meter) M() float64 { return float64(m) }
+
+// Km returns the distance in kilometers.
+func (m Meter) Km() float64 { return float64(m) / 1000 }
+
+// Times scales the distance by a dimensionless factor.
+func (m Meter) Times(f float64) Meter { return Meter(float64(m) * f) }
+
+// Over returns the dimensionless ratio m/o of two distances.
+func (m Meter) Over(o Meter) float64 { return float64(m) / float64(o) }
+
+// MPS returns the raw value in meters per second.
+func (v MeterPerSec) MPS() float64 { return float64(v) }
+
+// Times scales the speed by a dimensionless factor.
+func (v MeterPerSec) Times(f float64) MeterPerSec { return MeterPerSec(float64(v) * f) }
+
+// S returns the raw value in seconds.
+func (s Sec) S() float64 { return float64(s) }
+
+// Micros returns the span in microseconds.
+func (s Sec) Micros() float64 { return float64(s) * 1e6 }
+
+// Millis returns the span in milliseconds.
+func (s Sec) Millis() float64 { return float64(s) * 1e3 }
+
+// Duration converts the span to a time.Duration (nanosecond granularity).
+func (s Sec) Duration() time.Duration { return time.Duration(float64(s) * float64(time.Second)) }
+
+// FromDuration converts a time.Duration to seconds.
+func FromDuration(d time.Duration) Sec { return Sec(d.Seconds()) }
+
+// Times scales the span by a dimensionless factor.
+func (s Sec) Times(f float64) Sec { return Sec(float64(s) * f) }
+
+// Div divides the span by a dimensionless factor (intensity scaling).
+func (s Sec) Div(f float64) Sec { return Sec(float64(s) / f) }
+
+// Over returns the dimensionless ratio s/o of two spans.
+func (s Sec) Over(o Sec) float64 { return float64(s) / float64(o) }
+
+// Hz returns the raw value in hertz.
+func (h Hertz) Hz() float64 { return float64(h) }
+
+// Rad returns the raw value in radians.
+func (r Radian) Rad() float64 { return float64(r) }
+
+// Deg returns the angle in degrees.
+func (r Radian) Deg() float64 { return float64(r) * 180 / math.Pi }
+
+// Degrees converts an angle from degrees to radians.
+func Degrees(deg float64) Radian { return Radian(deg * math.Pi / 180) }
+
+// Times scales the angle by a dimensionless factor.
+func (r Radian) Times(f float64) Radian { return Radian(float64(r) * f) }
+
+// Over returns the dimensionless ratio r/o of two angles.
+func (r Radian) Over(o Radian) float64 { return float64(r) / float64(o) }

@@ -1,0 +1,69 @@
+package units
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func close(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestLogLinearRoundTrips(t *testing.T) {
+	close(t, "LinearToDB(100)", LinearToDB(100).Decibels(), 20)
+	close(t, "DB(20).Linear()", DB(20).Linear(), 100)
+	close(t, "DBmToMilliWatt(0)", DBmToMilliWatt(0).MW(), 1)
+	close(t, "DBmToMilliWatt(30)", DBmToMilliWatt(30).MW(), 1000)
+	close(t, "MilliWattToDBm(1000)", MilliWattToDBm(1000).Decibels(), 30)
+	close(t, "DBm(28).Plus(DB(-70))", DBm(28).Plus(DB(-70)).Decibels(), -42)
+	close(t, "RatioDB(100, 1)", RatioDB(100, 1).Decibels(), 20)
+	close(t, "MilliWatt(6).Over(3)", MilliWatt(6).Over(3), 2)
+}
+
+func TestGeometryAndTime(t *testing.T) {
+	close(t, "Degrees(180)", Degrees(180).Rad(), math.Pi)
+	close(t, "Radian(pi).Deg()", Radian(math.Pi).Deg(), 180)
+	close(t, "Meter(1500).Km()", Meter(1500).Km(), 1.5)
+	close(t, "Meter(10).Over(4)", Meter(10).Over(4), 2.5)
+	close(t, "Sec(0.003).Micros()", Sec(0.003).Micros(), 3000)
+	close(t, "Sec(0.25).Millis()", Sec(0.25).Millis(), 250)
+	close(t, "Sec(2).Over(0.5)", Sec(2).Over(0.5), 4)
+	if got := Sec(1.5).Duration(); got != 1500*time.Millisecond {
+		t.Errorf("Sec(1.5).Duration() = %v", got)
+	}
+	close(t, "FromDuration(250ms)", FromDuration(250*time.Millisecond).S(), 0.25)
+	close(t, "MeterPerSec(20).Times(2)", MeterPerSec(20).Times(2).MPS(), 40)
+	close(t, "Hertz(2.16e9).Hz()", Hertz(2.16e9).Hz(), 2.16e9)
+}
+
+func TestScaling(t *testing.T) {
+	close(t, "DB(15).Times(3)", DB(15).Times(3).Decibels(), 45)
+	close(t, "DB(30).Div(2)", DB(30).Div(2).Decibels(), 15)
+	close(t, "MilliWatt(8).Times(0.5)", MilliWatt(8).Times(0.5).MW(), 4)
+	close(t, "Meter(7).Times(2)", Meter(7).Times(2).M(), 14)
+	close(t, "Sec(10).Div(4)", Sec(10).Div(4).S(), 2.5)
+	close(t, "Radian(1).Times(0.5)", Radian(1).Times(0.5).Rad(), 0.5)
+	close(t, "Radian(3).Over(2)", Radian(3).Over(2), 1.5)
+}
+
+// TestNoStringers pins the byte-compat invariant: unit types must format
+// exactly like raw float64, so none of them may implement fmt.Stringer.
+// Adding a String method would silently change every %v of every table the
+// experiments print.
+func TestNoStringers(t *testing.T) {
+	vals := []any{DB(1.5), DBm(1.5), MilliWatt(1.5), Meter(1.5),
+		MeterPerSec(1.5), Sec(1.5), Hertz(1.5), Radian(1.5)}
+	for _, v := range vals {
+		if _, ok := v.(fmt.Stringer); ok {
+			t.Errorf("%T implements fmt.Stringer; unit types must render as raw floats", v)
+		}
+		if got := fmt.Sprintf("%v", v); got != "1.5" {
+			t.Errorf("%%v of %T = %q, want \"1.5\"", v, got)
+		}
+	}
+}

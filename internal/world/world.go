@@ -23,18 +23,19 @@ import (
 	"mmv2v/internal/obs"
 	"mmv2v/internal/phy"
 	"mmv2v/internal/traffic"
+	"mmv2v/internal/units"
 	"mmv2v/internal/xrand"
 )
 
 // Config parameterizes link-table construction.
 type Config struct {
-	// CommRange is the one-hop neighbor disk radius in meters (the paper's
-	// "dotted disk"; DESIGN.md: 50 m default, calibrated so the Fig. 6
-	// densities yield the paper's 5–8 average LOS neighbors).
-	CommRange float64
+	// CommRange is the one-hop neighbor disk radius (the paper's "dotted
+	// disk"; DESIGN.md: 50 m default, calibrated so the Fig. 6 densities
+	// yield the paper's 5–8 average LOS neighbors).
+	CommRange units.Meter
 	// InterferenceRange bounds which transmitters contribute interference
 	// (beyond it, even main-lobe power is far below noise).
-	InterferenceRange float64
+	InterferenceRange units.Meter
 	// Channel is the propagation model configuration.
 	Channel channel.Params
 	// ShadowSeed drives the per-pair shadowing draws when
@@ -68,7 +69,7 @@ func (c Config) Validate() error {
 // compass bearing from the owning vehicle toward J.
 type Link struct {
 	J           int
-	Dist        float64
+	Dist        units.Meter
 	Bearing     geom.Bearing
 	Blockers    int
 	PathGainLin float64
@@ -88,7 +89,7 @@ type World struct {
 	n         int
 	pos       []geom.Vec
 	heading   []geom.Bearing
-	speed     []float64
+	speed     []units.MeterPerSec
 	links     [][]Link
 	neighbors [][]int
 	// halfLen/halfWid cache per-vehicle body half extents (cars vs trucks).
@@ -159,7 +160,7 @@ func New(cfg Config, road *traffic.Road) (*World, error) {
 		n:         n,
 		pos:       make([]geom.Vec, n),
 		heading:   make([]geom.Bearing, n),
-		speed:     make([]float64, n),
+		speed:     make([]units.MeterPerSec, n),
 		links:     make([][]Link, n),
 		neighbors: make([][]int, n),
 		halfLen:   make([]float64, n),
@@ -195,8 +196,8 @@ func (w *World) Position(i int) geom.Vec { return w.pos[i] }
 // Heading returns vehicle i's current travel bearing (its GPS heading).
 func (w *World) Heading(i int) geom.Bearing { return w.heading[i] }
 
-// Speed returns vehicle i's current speed in m/s.
-func (w *World) Speed(i int) float64 { return w.speed[i] }
+// Speed returns vehicle i's current speed.
+func (w *World) Speed(i int) units.MeterPerSec { return w.speed[i] }
 
 // Refresh recomputes positions and the pair table from the road state. Call
 // after every traffic step (the paper's 5 ms update).
@@ -206,7 +207,7 @@ func (w *World) Refresh() {
 	for i, v := range vehicles {
 		w.pos[i] = rcfg.Position(v)
 		w.heading[i] = rcfg.Heading(v)
-		w.speed[i] = v.V
+		w.speed[i] = units.MeterPerSec(v.V)
 	}
 
 	// Re-sort the cached x-order permutation for the blocker prune. The
@@ -242,7 +243,7 @@ func (w *World) Refresh() {
 		a := order[ka]
 		for kb := ka + 1; kb < w.n; kb++ {
 			b := order[kb]
-			if w.pos[b].X-w.pos[a].X > w.cfg.InterferenceRange {
+			if w.pos[b].X-w.pos[a].X > w.cfg.InterferenceRange.M() {
 				break
 			}
 			d := w.pos[a].Dist(w.pos[b])
@@ -334,7 +335,7 @@ func (w *World) shadowFactor(a, b int) float64 {
 	u1 := float64(xrand.Mix(w.cfg.ShadowSeed, 0x5ad0, uint64(a), uint64(b))%(1<<52)+1) / float64(int64(1)<<52)
 	u2 := float64(xrand.Mix(w.cfg.ShadowSeed, 0x5ad1, uint64(a), uint64(b))%(1<<52)) / float64(int64(1)<<52)
 	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
-	return channel.Lin(sigma * z)
+	return sigma.Times(z).Linear()
 }
 
 // countBlockers counts vehicle bodies crossing the a–b segment, excluding
@@ -422,9 +423,9 @@ func (w *World) beamGain(beam phy.Beam, toward geom.Bearing) float64 {
 	return w.patterns.Get(beam.Width).Gain(geom.AngleDiff(beam.Bearing, toward))
 }
 
-// RxPowerMw returns the power (mW) vehicle rx receives from tx given both
-// beam configurations, or 0 if the pair is out of interference range.
-func (w *World) RxPowerMw(tx, rx int, txBeam, rxBeam phy.Beam) float64 {
+// RxPowerMw returns the power vehicle rx receives from tx given both beam
+// configurations, or 0 if the pair is out of interference range.
+func (w *World) RxPowerMw(tx, rx int, txBeam, rxBeam phy.Beam) units.MilliWatt {
 	lnk, ok := w.Link(tx, rx)
 	if !ok {
 		return 0
@@ -432,16 +433,16 @@ func (w *World) RxPowerMw(tx, rx int, txBeam, rxBeam phy.Beam) float64 {
 	back, _ := w.Link(rx, tx)
 	gTx := w.beamGain(txBeam, lnk.Bearing)  // tx's gain toward rx
 	gRx := w.beamGain(rxBeam, back.Bearing) // rx's gain toward tx
-	return w.model.TxPowerMw() * gTx * lnk.PathGainLin * gRx
+	return units.MilliWatt(w.model.TxPowerMw().MW() * gTx * lnk.PathGainLin * gRx)
 }
 
-// SNRdB returns the interference-free SNR (dB) of a directed link with the
-// given beams, or -Inf when out of range.
-func (w *World) SNRdB(tx, rx int, txBeam, rxBeam phy.Beam) float64 {
+// SNRdB returns the interference-free SNR of a directed link with the given
+// beams, or -Inf when out of range.
+func (w *World) SNRdB(tx, rx int, txBeam, rxBeam phy.Beam) units.DB {
 	p := w.RxPowerMw(tx, rx, txBeam, rxBeam)
 	//mmv2v:exact RxPowerMw returns exactly 0 as its out-of-range/beam-miss sentinel
 	if p == 0 {
-		return math.Inf(-1)
+		return units.DB(math.Inf(-1))
 	}
-	return channel.DB(p / w.model.NoiseMw())
+	return units.RatioDB(p, w.model.NoiseMw())
 }

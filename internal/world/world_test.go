@@ -7,6 +7,7 @@ import (
 	"mmv2v/internal/geom"
 	"mmv2v/internal/phy"
 	"mmv2v/internal/traffic"
+	"mmv2v/internal/units"
 	"mmv2v/internal/xrand"
 )
 
@@ -66,7 +67,7 @@ func TestLinkDistanceMatchesPositions(t *testing.T) {
 	for i := 0; i < w.NumVehicles(); i++ {
 		for _, l := range w.Links(i) {
 			want := w.Position(i).Dist(w.Position(l.J))
-			if math.Abs(l.Dist-want) > 1e-9 {
+			if math.Abs((l.Dist - want).M()) > 1e-9 {
 				t.Fatalf("link %d→%d dist %v, want %v", i, l.J, l.Dist, want)
 			}
 			if l.Dist > w.Config().InterferenceRange {
@@ -187,7 +188,7 @@ func TestRxPowerAlignedVsMisaligned(t *testing.T) {
 		t.Errorf("aligned power %v not above misaligned %v", aligned, away)
 	}
 	// Side-lobe ratio: misaligned Tx costs the side-lobe level (~20 dB).
-	if ratio := 10 * math.Log10(aligned/away); ratio < 15 {
+	if ratio := 10 * math.Log10(aligned.Over(away)); ratio < 15 {
 		t.Errorf("alignment gain only %v dB", ratio)
 	}
 }
@@ -332,7 +333,7 @@ func TestShadowingDisabledByDefault(t *testing.T) {
 }
 
 func TestShadowingPerturbsGainsDeterministically(t *testing.T) {
-	build := func(sigma float64, shadowSeed uint64) *World {
+	build := func(sigma units.DB, shadowSeed uint64) *World {
 		road, err := traffic.New(traffic.DefaultConfig(15), xrand.New(31))
 		if err != nil {
 			t.Fatal(err)
