@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint unitcheck test test-short race bench bench-json profile experiments examples faults fuzz-smoke clean
+.PHONY: all build vet lint unitcheck test test-short race bench bench-json profile experiments examples faults city fuzz-smoke clean
 
 all: build vet lint test
 
@@ -54,10 +54,18 @@ experiments:
 faults:
 	$(GO) run ./cmd/mmv2v-experiments -fig faults -trials 1
 
-# Short fuzzing pass over the geometry and channel kernels (mirrors CI).
+# City-grid scale mode: 10k-vehicle mobility + link-table drive, then the
+# protocol comparison on a small city grid (minutes; see -trials).
+city:
+	$(GO) run ./cmd/mmv2v-sim -world grid -drive 10
+	$(GO) run ./cmd/mmv2v-experiments -fig city -trials 1
+
+# Short fuzzing pass over the geometry, channel and spatial-index kernels
+# (mirrors CI).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSegmentBlocked -fuzztime=10s ./internal/geom/
 	$(GO) test -run='^$$' -fuzz=FuzzSINR -fuzztime=10s ./internal/channel/
+	$(GO) test -run='^$$' -fuzz=FuzzCellCoord -fuzztime=10s ./internal/world/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -6,6 +6,7 @@
 //	mmv2v-experiments -fig all -trials 2        # everything
 //	mmv2v-experiments -fig t2                   # Theorem 2 validation
 //	mmv2v-experiments -fig ablation             # design-choice ablation
+//	mmv2v-experiments -fig city                 # protocols on a city grid
 //
 // Results print as text tables with the same rows/series the paper plots.
 // The paper repeats each experiment 100 times; -trials trades fidelity for
@@ -48,7 +49,7 @@ func main() {
 
 func run(w io.Writer) error {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, t2, ablation, trucks, warmup, faults, all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, t2, ablation, trucks, warmup, faults, city, all")
 		trials   = flag.Int("trials", 0, "trials per data point (0 = per-figure default)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		format   = flag.String("format", "table", "output format: table or csv")
@@ -251,6 +252,25 @@ func run(w io.Writer) error {
 			fmt.Fprintln(w)
 			return nil
 		},
+		"city": func() error {
+			opts := mmv2v.DefaultCityOptions()
+			opts.Seed = *seed
+			opts.Workers = *workers
+			opts.Progress = progress
+			if *trials > 0 {
+				opts.Trials = *trials
+			}
+			res, err := mmv2v.ReproduceCity(opts)
+			if err != nil {
+				return err
+			}
+			if csvMode {
+				return res.WriteCSV(w)
+			}
+			res.WriteTable(w)
+			fmt.Fprintln(w)
+			return nil
+		},
 		"ablation": func() error {
 			opts := mmv2v.DefaultAblationOptions()
 			opts.Seed = *seed
@@ -273,11 +293,12 @@ func run(w io.Writer) error {
 	}
 
 	// "all" keeps its pre-fault-layer composition so full-suite output
-	// stays byte-identical; run the fault sweep with -fig faults/-faults.
+	// stays byte-identical; run the fault sweep with -fig faults/-faults and
+	// the city-grid comparison with -fig city.
 	order := []string{"t2", "6", "7", "8", "9", "ablation", "trucks", "warmup"}
 	if *fig != "all" {
 		if _, ok := runners[*fig]; !ok {
-			return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, t2, ablation, trucks, warmup, faults, all)", *fig)
+			return fmt.Errorf("unknown figure %q (want 6, 7, 8, 9, t2, ablation, trucks, warmup, faults, city, all)", *fig)
 		}
 		order = []string{*fig}
 	}

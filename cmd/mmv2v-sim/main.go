@@ -4,8 +4,17 @@
 //
 //	mmv2v-sim -density 15 -protocol mmv2v -trials 3 -seconds 1
 //	mmv2v-sim -density 20 -faults 0.5            # stress at half intensity
+//	mmv2v-sim -world grid -grid-vehicles 240     # protocols on a city grid
+//	mmv2v-sim -world grid -drive 10              # 10k-vehicle scale drive
 //
 // Protocols: mmv2v (default), rop, ad, oracle, all.
+//
+// -world grid replaces the paper's straight road with a Manhattan road
+// network (-rows × -cols intersections, -block m blocks). -drive N skips
+// the radio protocol entirely and drives 5 ms traffic steps plus link-table
+// refreshes every -refresh-ms simulated milliseconds for N simulated
+// seconds, reporting link-table size and wall-clock per refresh — the scale
+// mode for city-sized fleets (default 10000 vehicles).
 //
 // -faults scales the standard fault profile (control loss, blockage bursts,
 // radio churn, slot jitter; see internal/faults) by the given intensity;
@@ -28,6 +37,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"mmv2v"
 )
@@ -58,8 +68,24 @@ func run() (err error) {
 		statsOut  = flag.String("stats", "", "record per-layer statistics and write them to this file (CSV if the path ends in .csv, JSON Lines otherwise)")
 		cpuOut    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memOut    = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
+		worldKind = flag.String("world", "road", "mobility substrate: road (straight 1 km road) or grid (Manhattan road network)")
+		gridRows  = flag.Int("rows", 0, "grid world: intersection rows (0 = 3 for protocol runs, 12 for -drive)")
+		gridCols  = flag.Int("cols", 0, "grid world: intersection columns (0 = 3 for protocol runs, 12 for -drive)")
+		gridBlock = flag.Float64("block", 0, "grid world: block edge length in m (0 = 200 for protocol runs, 500 for -drive)")
+		gridVeh   = flag.Int("grid-vehicles", 0, "grid world: vehicle count (0 = 240 for protocol runs, 10000 for -drive)")
+		driveSec  = flag.Float64("drive", 0, "drive traffic + link refreshes for this many simulated seconds without a protocol (grid world scale mode)")
+		refreshMs = flag.Float64("refresh-ms", 100, "scale drive: link-table refresh period in simulated ms (traffic always steps at 5 ms)")
 	)
 	flag.Parse()
+	if *worldKind != "road" && *worldKind != "grid" {
+		return fmt.Errorf("unknown world %q (want road or grid)", *worldKind)
+	}
+	if *driveSec > 0 {
+		if *worldKind != "grid" {
+			return fmt.Errorf("-drive requires -world grid")
+		}
+		return driveGrid(gridConfig(*gridRows, *gridCols, *gridBlock, *gridVeh, driveGridDefaults), *seed, *driveSec, *refreshMs)
+	}
 
 	if *cpuOut != "" {
 		f, err := os.Create(*cpuOut)
@@ -77,6 +103,10 @@ func run() (err error) {
 	}
 
 	cfg := mmv2v.DefaultScenario(*density, *seed)
+	if *worldKind == "grid" {
+		grid := gridConfig(*gridRows, *gridCols, *gridBlock, *gridVeh, protocolGridDefaults)
+		cfg = mmv2v.GridScenario(grid, *seed)
+	}
 	cfg.Stats = *statsOut != ""
 	cfg.WindowSec = *seconds
 	cfg.Windows = *windows
@@ -129,8 +159,13 @@ func run() (err error) {
 	}
 
 	if !*jsonOut {
-		fmt.Printf("scenario: %.0f vpl, seed %d, %d trial(s) × %d window(s) × %.2f s, demand %.0f Mb/neighbor\n",
-			*density, *seed, *trials, *windows, *seconds, *demand/1e6)
+		if cfg.Grid != nil {
+			fmt.Printf("scenario: %dx%d grid, %.0f m blocks, %d vehicles, seed %d, %d trial(s) × %d window(s) × %.2f s, demand %.0f Mb/neighbor\n",
+				cfg.Grid.Rows, cfg.Grid.Cols, cfg.Grid.BlockM, cfg.Grid.Vehicles, *seed, *trials, *windows, *seconds, *demand/1e6)
+		} else {
+			fmt.Printf("scenario: %.0f vpl, seed %d, %d trial(s) × %d window(s) × %.2f s, demand %.0f Mb/neighbor\n",
+				*density, *seed, *trials, *windows, *seconds, *demand/1e6)
+		}
 		fmt.Printf("%-10s %-8s %-8s %-8s %-8s %-10s\n", "protocol", "OCR", "ATP", "DTP", "avg |N|", "DES events")
 	}
 	type jsonRow struct {
@@ -216,6 +251,77 @@ func writeStats(path string, rows []mmv2v.StatsRow, jsonMode bool) error {
 	}
 	fmt.Fprintln(out)
 	mmv2v.WriteStatsSummary(out, rows)
+	return nil
+}
+
+// gridDefaults are the per-mode fallbacks for unset grid geometry flags:
+// protocol runs get a dense downtown grid so neighborhoods match the
+// paper's 5–8 band at 240 vehicles; the scale drive gets the full city.
+type gridDefaults struct {
+	rows, cols int
+	blockM     float64
+	vehicles   int
+}
+
+var (
+	protocolGridDefaults = gridDefaults{rows: 3, cols: 3, blockM: 200, vehicles: 240}
+	driveGridDefaults    = gridDefaults{rows: 12, cols: 12, blockM: 500, vehicles: 10000}
+)
+
+// gridConfig assembles the grid world from the CLI flags; zero-valued flags
+// fall back to the mode's defaults.
+func gridConfig(rows, cols int, blockM float64, vehicles int, def gridDefaults) mmv2v.GridConfig {
+	if rows == 0 {
+		rows = def.rows
+	}
+	if cols == 0 {
+		cols = def.cols
+	}
+	if blockM <= 0 {
+		blockM = def.blockM
+	}
+	if vehicles == 0 {
+		vehicles = def.vehicles
+	}
+	g := mmv2v.DefaultGridConfig(vehicles)
+	g.Rows, g.Cols = rows, cols
+	g.BlockM = blockM
+	return g
+}
+
+// driveGrid is the protocol-free scale mode: advance traffic at the 5 ms
+// mobility cadence, refresh the link table every refreshMs simulated
+// milliseconds, and report table size plus wall-clock per refresh. All
+// timing lives here in the CLI; the library loop is deterministic.
+func driveGrid(grid mmv2v.GridConfig, seed uint64, seconds, refreshMs float64) error {
+	buildStart := time.Now()
+	g, err := mmv2v.NewGridWorld(grid, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("grid world: %dx%d intersections, %.0f m blocks, %d vehicles (built in %v)\n",
+		grid.Rows, grid.Cols, grid.BlockM, g.NumVehicles(), time.Since(buildStart).Round(time.Millisecond))
+	ticks := int(seconds / g.TickSeconds())
+	every := max(int(refreshMs/(g.TickSeconds()*1000)), 1)
+	refreshes := 0
+	var inRefresh time.Duration
+	start := time.Now()
+	for t := 1; t <= ticks; t++ {
+		g.StepTraffic()
+		if t%every == 0 {
+			rs := time.Now()
+			g.RefreshLinks()
+			inRefresh += time.Since(rs)
+			refreshes++
+		}
+	}
+	elapsed := time.Since(start)
+	perRefresh := inRefresh / time.Duration(max(refreshes, 1))
+	fmt.Printf("drove %.1f s simulated (%d ticks, link refresh every %d ms) in %v wall (%.1fx real time)\n",
+		float64(ticks)*g.TickSeconds(), ticks, every*int(g.TickSeconds()*1000),
+		elapsed.Round(time.Millisecond), seconds/elapsed.Seconds())
+	fmt.Printf("%d link refreshes, %.2f ms/refresh\n", refreshes, float64(perRefresh.Microseconds())/1000)
+	fmt.Printf("final link table: %d directed entries, avg |N| %.1f\n", g.TotalLinks(), g.AvgNeighbors())
 	return nil
 }
 

@@ -71,3 +71,35 @@ func TestFaultSweepByteIdenticalAcrossWorkers(t *testing.T) {
 			serial, parallel)
 	}
 }
+
+// TestCityTableByteIdenticalAcrossWorkers extends the parallel-merge
+// invariant to the city-grid scenario: road-graph routing, the spatial-hash
+// link table and pooled trials must render byte-identically whether the
+// protocol cells run on one worker or eight.
+func TestCityTableByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment determinism test")
+	}
+	render := func(workers int) []byte {
+		opts := DefaultCityOptions()
+		opts.Trials = 2
+		opts.Grid.Vehicles = 90
+		opts.Workers = workers
+		res, err := City(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		res.WriteTable(&buf)
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("city output differs between Workers=1 and Workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}

@@ -160,16 +160,64 @@ func (r Rect) ContainsPoint(p Vec) bool {
 // intersecting; callers exclude the transmitter's and receiver's own bodies
 // before invoking this.
 func SegmentIntersectsRect(a, b Vec, r Rect) bool {
-	if r.ContainsPoint(a) || r.ContainsPoint(b) {
+	f := NewBodyFrame(r)
+	return f.SegmentIntersects(a, b)
+}
+
+// BodyFrame caches the trigonometric frame and corners of a Rect for
+// repeated segment-intersection queries against the same body — the
+// blockage hot path tests every candidate body against many LOS segments
+// per snapshot, and recomputing sincos per query dominates otherwise. The
+// cached values are produced by exactly the arithmetic Rect.Corners and
+// Rect.ContainsPoint use, so query results are identical to the one-shot
+// SegmentIntersectsRect.
+type BodyFrame struct {
+	center           Vec
+	sh, ch           float64
+	halfLen, halfWid float64
+	corners          [4]Vec
+}
+
+// NewBodyFrame precomputes the query frame of r.
+func NewBodyFrame(r Rect) BodyFrame {
+	sh, ch := math.Sincos(float64(r.Heading))
+	fwd := Vec{sh, ch}.Scale(r.HalfLen)
+	side := Vec{ch, -sh}.Scale(r.HalfWid)
+	return BodyFrame{
+		center:  r.Center,
+		sh:      sh,
+		ch:      ch,
+		halfLen: r.HalfLen,
+		halfWid: r.HalfWid,
+		corners: [4]Vec{
+			r.Center.Add(fwd).Add(side),
+			r.Center.Add(fwd).Sub(side),
+			r.Center.Sub(fwd).Sub(side),
+			r.Center.Sub(fwd).Add(side),
+		},
+	}
+}
+
+// ContainsPoint reports whether p lies inside (or on the edge of) the body,
+// with the same tolerance as Rect.ContainsPoint.
+func (f *BodyFrame) ContainsPoint(p Vec) bool {
+	d := p.Sub(f.center)
+	along := d.X*f.sh + d.Y*f.ch
+	across := d.X*f.ch - d.Y*f.sh
+	return math.Abs(along) <= f.halfLen+1e-12 && math.Abs(across) <= f.halfWid+1e-12
+}
+
+// SegmentIntersects reports whether the segment a–b crosses the body; it is
+// SegmentIntersectsRect over the precomputed frame.
+func (f *BodyFrame) SegmentIntersects(a, b Vec) bool {
+	if f.ContainsPoint(a) || f.ContainsPoint(b) {
 		return true
 	}
-	c := r.Corners()
-	for i := 0; i < 4; i++ {
-		if segmentsIntersect(a, b, c[i], c[(i+1)%4]) {
-			return true
-		}
-	}
-	return false
+	c := &f.corners
+	return segmentsIntersect(a, b, c[0], c[1]) ||
+		segmentsIntersect(a, b, c[1], c[2]) ||
+		segmentsIntersect(a, b, c[2], c[3]) ||
+		segmentsIntersect(a, b, c[3], c[0])
 }
 
 // segmentsIntersect reports whether segments p1–p2 and p3–p4 intersect,

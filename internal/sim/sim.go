@@ -32,6 +32,10 @@ type Config struct {
 	Seed uint64
 	// Traffic is the road scenario (density, lanes, models).
 	Traffic traffic.Config
+	// Grid, when non-nil, replaces the straight road with a Manhattan-grid
+	// road network (the city-scale scenario): NewEnv builds a
+	// traffic.Network from it and Traffic is ignored.
+	Grid *traffic.GridConfig
 	// World holds comm range and channel parameters.
 	World world.Config
 	// Timing holds the PHY control-plane constants.
@@ -92,7 +96,11 @@ func DefaultConfig(densityVPL float64, seed uint64) Config {
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
-	if err := c.Traffic.Validate(); err != nil {
+	if c.Grid != nil {
+		if err := c.Grid.Validate(); err != nil {
+			return err
+		}
+	} else if err := c.Traffic.Validate(); err != nil {
 		return err
 	}
 	if err := c.World.Validate(); err != nil {
@@ -246,15 +254,25 @@ func NewEnv(cfg Config) (*Env, error) {
 		return nil, err
 	}
 	rand := xrand.New(cfg.Seed)
-	road, err := traffic.New(cfg.Traffic, rand)
-	if err != nil {
-		return nil, err
+	var fleet traffic.Fleet
+	if cfg.Grid != nil {
+		nw, err := traffic.NewNetwork(cfg.Grid.Network(), rand)
+		if err != nil {
+			return nil, err
+		}
+		fleet = nw
+	} else {
+		road, err := traffic.New(cfg.Traffic, rand)
+		if err != nil {
+			return nil, err
+		}
+		fleet = road
 	}
 	dt := cfg.Timing.PositionUpdate.Seconds()
 	for t := 0.0; t < cfg.WarmupSec; t += dt {
-		road.Step(dt)
+		fleet.Step(dt)
 	}
-	w, err := world.New(cfg.World, road)
+	w, err := world.New(cfg.World, fleet)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +333,7 @@ func (e *Env) DriveFrames(proto Protocol, firstFrame, frames int) {
 	end := start.Add(e.Timing.Frame * time.Duration(frames))
 	e.Sim.Every(start, e.Timing.PositionUpdate, end, "sim.tick", func(tick int) {
 		if tick > 0 {
-			e.World.Road().Step(dt)
+			e.World.Fleet().Step(dt)
 			e.World.Refresh()
 		}
 		e.FireRefreshHooks()

@@ -212,6 +212,11 @@ type Vehicle struct {
 	S     float64
 	V     float64
 	A     float64
+	// Seg is the directed road-graph segment the vehicle occupies; unused
+	// (always 0) on the single ring Road. Hops counts completed segment
+	// traversals and feeds the deterministic route hash at intersections.
+	Seg  int
+	Hops int
 	// Quantile in [0,1) fixes the vehicle's aggressiveness: its desired
 	// speed in lane l is Low_l + Quantile·(High_l − Low_l), so a vehicle
 	// keeps its relative aggressiveness when it changes lanes.
@@ -362,9 +367,13 @@ func (r *Road) gapBehind(s float64, lane int, exclude *Vehicle, dirVehicles []*V
 }
 
 // idmAccel computes the IDM acceleration for speed v, desired speed v0, gap
-// to leader and leader speed.
+// to leader and leader speed. The same kernel drives the ring road and the
+// road-graph Network, so car-following dynamics are identical on both.
 func (r *Road) idmAccel(v, v0, gap, leaderV float64) float64 {
-	p := r.cfg.IDM
+	return idmAccel(r.cfg.IDM, v, v0, gap, leaderV)
+}
+
+func idmAccel(p IDMParams, v, v0, gap, leaderV float64) float64 {
 	if gap < 0.1 {
 		gap = 0.1
 	}

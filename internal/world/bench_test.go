@@ -102,3 +102,32 @@ func BenchmarkRxPower(b *testing.B) {
 		_ = w.RxPowerMw(tx, rx, beamA, beamB)
 	}
 }
+
+func benchGridRefresh(b *testing.B, rows, cols, vehicles int) {
+	b.Helper()
+	grid := traffic.DefaultGridConfig(vehicles)
+	grid.Rows, grid.Cols = rows, cols
+	nw, err := traffic.NewNetwork(grid.Network(), xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := New(DefaultConfig(), nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Step(0.005)
+		w.Refresh()
+	}
+}
+
+// BenchmarkRefresh1k / BenchmarkRefresh10k measure the snapshot rebuild on
+// city grids at matched street-level density (≈19–21 vehicles per lane-km,
+// the paper's evaluation band): 1k vehicles on a 4×4 grid, 10k on the
+// default 12×12. The spatial-hash pair index makes Refresh O(vehicles ×
+// local density), so growing the fleet and the map together must scale far
+// sub-quadratically — the 10k run must come in well under 100× the 1k run.
+func BenchmarkRefresh1k(b *testing.B)  { benchGridRefresh(b, 4, 4, 1000) }
+func BenchmarkRefresh10k(b *testing.B) { benchGridRefresh(b, 12, 12, 10000) }

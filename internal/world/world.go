@@ -4,6 +4,17 @@
 // gain) for all pairs within interference range, and the line-of-sight
 // one-hop neighbor sets that define the OHM problem (Sec. II-B).
 //
+// The world is generic over the mobility substrate (traffic.Fleet): the
+// paper's straight ring road and city-scale road-graph networks bind
+// identically. Pair discovery and blocker lookups run on a deterministic
+// spatial-hash grid keyed on cell coordinates — candidates are culled to
+// the 2-D cell neighborhood of each vehicle before any channel math, so a
+// Refresh costs O(vehicles × local density) regardless of topology, where
+// the previous global x-sorted sweep degenerated toward O(n²) on 2-D road
+// graphs. Per-vehicle link slices stay sorted by partner x-rank, so the
+// straight-road special case produces byte-identical tables to the sweep
+// it replaced.
+//
 // The table is refreshed at the paper's 5 ms cadence ("vehicle position and
 // link quality is updated every 5 ms"); between refreshes all queries are
 // O(1) probes into per-vehicle sorted link slices via compact rank-window
@@ -16,7 +27,6 @@ package world
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"mmv2v/internal/channel"
 	"mmv2v/internal/geom"
@@ -64,6 +74,14 @@ func (c Config) Validate() error {
 	return c.Channel.Validate()
 }
 
+// CellSizeM returns the spatial-hash cell edge the configuration implies:
+// at least CommRange, so every LOS neighbor candidate sits in the 3×3 cell
+// neighborhood, and at least a quarter of InterferenceRange, so the pair
+// scan never walks more than a 9×9 neighborhood (DESIGN.md §10).
+func (c Config) CellSizeM() float64 {
+	return math.Max(c.CommRange.M(), c.InterferenceRange.M()/4)
+}
+
 // Link is one directed entry of the pair table: the link from a vehicle to
 // peer J. Dist, Blockers and PathGainLin are symmetric; Bearing is the
 // compass bearing from the owning vehicle toward J.
@@ -82,7 +100,7 @@ func (l Link) LOS() bool { return l.Blockers == 0 }
 // Refresh after advancing traffic. Not safe for concurrent use.
 type World struct {
 	cfg      Config
-	road     *traffic.Road
+	fleet    traffic.Fleet
 	model    *channel.Model
 	patterns *channel.PatternCache
 
@@ -92,23 +110,43 @@ type World struct {
 	speed     []units.MeterPerSec
 	links     [][]Link
 	neighbors [][]int
-	// halfLen/halfWid cache per-vehicle body half extents (cars vs trucks).
-	halfLen []float64
-	halfWid []float64
-	// order/xs are the x-sorted vehicle permutation and its x coordinates.
-	// They persist across Refresh calls: positions move only micrometers per
-	// 5 ms tick, so re-sorting the previous permutation is nearly free, and
-	// reusing the buffers keeps the refresh hot path allocation-free.
+	// halfLen/halfWid/halfDiag cache per-vehicle body half extents and the
+	// half-diagonal bound used to prune blocker candidates; frames cache
+	// each body's corner geometry for the blockage tests (one sincos per
+	// vehicle per refresh instead of one per candidate test).
+	halfLen  []float64
+	halfWid  []float64
+	halfDiag []float64
+	frames   []geom.BodyFrame
+
+	// order is the x-sorted vehicle permutation; rank its inverse. They
+	// persist across Refresh calls: positions move only micrometers per
+	// 5 ms tick, so re-sorting the previous permutation is nearly free.
+	// Ranks give links their canonical per-vehicle order (ascending
+	// partner rank) — the order the legacy x-sweep produced — and key the
+	// rank-window slot index below.
 	order []int
-	xs    []float64
-	// rank is the inverse of order: rank[v] is v's position in x order.
-	// slotLo/slots form the O(1) link lookup: vehicle i's partners occupy a
-	// narrow band of consecutive x-ranks, so slots[i][rank[j]-slotLo[i]]
-	// holds the index of the i→j entry in links[i] (-1 when absent). Total
-	// size is O(links), never the O(n²) of a dense pair matrix.
-	rank   []int32
+	rank  []int32
+	// slotLo/slots form the O(1) link lookup: when vehicle i's partners
+	// occupy a narrow band of consecutive x-ranks (always true on a 1-D
+	// road), slots[i][rank[j]-slotLo[i]] holds the index of the i→j entry
+	// in links[i] (-1 when absent). When the band is wide relative to the
+	// link count (2-D road graphs), slotLo[i] is -1 and Link falls back to
+	// a binary search of the rank-sorted slice, keeping total index memory
+	// O(links) on every topology.
 	slotLo []int32
 	slots  [][]int32
+
+	// Spatial hash: a dense grid of cells over the fleet's static bounds.
+	// cells[cy*cellsX+cx] lists the vehicles whose center lies in the cell,
+	// in ascending vehicle index; rebuilt every Refresh into persistent
+	// buckets. reach is the cell radius of the pair scan.
+	cellM          float64
+	invCellM       float64
+	gridMin        geom.Vec
+	cellsX, cellsY int
+	cells          [][]int32
+	reach          int
 
 	// linkFault, when non-nil, multiplies every refreshed link's path gain
 	// by an extra factor (transient blockage bursts; see internal/faults).
@@ -141,9 +179,9 @@ func (w *World) SetObs(r *obs.Registry) {
 	w.obsNLOSLinks = r.Counter("world.nlos_links")
 }
 
-// New builds a World over a road. Refresh is called once so the world is
-// immediately queryable.
-func New(cfg Config, road *traffic.Road) (*World, error) {
+// New builds a World over a mobility substrate (the ring road or a road
+// graph). Refresh is called once so the world is immediately queryable.
+func New(cfg Config, fleet traffic.Fleet) (*World, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -151,10 +189,10 @@ func New(cfg Config, road *traffic.Road) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := road.NumVehicles()
+	n := fleet.NumVehicles()
 	w := &World{
 		cfg:       cfg,
-		road:      road,
+		fleet:     fleet,
 		model:     model,
 		patterns:  channel.NewPatternCache(cfg.Channel.SideLobeDB),
 		n:         n,
@@ -165,8 +203,9 @@ func New(cfg Config, road *traffic.Road) (*World, error) {
 		neighbors: make([][]int, n),
 		halfLen:   make([]float64, n),
 		halfWid:   make([]float64, n),
+		halfDiag:  make([]float64, n),
+		frames:    make([]geom.BodyFrame, n),
 		order:     make([]int, n),
-		xs:        make([]float64, n),
 		rank:      make([]int32, n),
 		slotLo:    make([]int32, n),
 		slots:     make([][]int32, n),
@@ -174,8 +213,57 @@ func New(cfg Config, road *traffic.Road) (*World, error) {
 	for i := range w.order {
 		w.order[i] = i
 	}
+	w.initGrid()
 	w.Refresh()
 	return w, nil
+}
+
+// initGrid sizes the dense cell grid from the fleet's static bounds. Cell
+// edges come from Config.CellSizeM, floored so the grid never exceeds a
+// bounded cell count on extreme bounds.
+func (w *World) initGrid() {
+	min, max := w.fleet.Bounds()
+	w.gridMin = min
+	spanX := math.Max(max.X-min.X, 1)
+	spanY := math.Max(max.Y-min.Y, 1)
+	cell := w.cfg.CellSizeM()
+	// Bound the grid to ~2M cells: beyond that, coarser cells cost less
+	// than the per-refresh clear of an enormous dense grid.
+	const maxCells = 1 << 21
+	for float64(int(spanX/cell)+1)*float64(int(spanY/cell)+1) > maxCells {
+		cell *= 2
+	}
+	w.cellM = cell
+	w.invCellM = 1 / cell
+	w.cellsX = int(spanX/cell) + 1
+	w.cellsY = int(spanY/cell) + 1
+	w.cells = make([][]int32, w.cellsX*w.cellsY)
+	w.reach = int(math.Ceil(w.cfg.InterferenceRange.M() / cell))
+}
+
+// cellX maps a world x coordinate to a clamped cell column (cellY likewise
+// for rows). Queries may probe beyond the bounds (bbox pads); clamping
+// keeps them on the grid without wrapping.
+func (w *World) cellX(x float64) int {
+	c := int((x - w.gridMin.X) * w.invCellM)
+	if c < 0 {
+		return 0
+	}
+	if c >= w.cellsX {
+		return w.cellsX - 1
+	}
+	return c
+}
+
+func (w *World) cellY(y float64) int {
+	c := int((y - w.gridMin.Y) * w.invCellM)
+	if c < 0 {
+		return 0
+	}
+	if c >= w.cellsY {
+		return w.cellsY - 1
+	}
+	return c
 }
 
 // NumVehicles returns the vehicle count.
@@ -184,8 +272,22 @@ func (w *World) NumVehicles() int { return w.n }
 // Config returns the world configuration.
 func (w *World) Config() Config { return w.cfg }
 
-// Road returns the underlying traffic simulation.
-func (w *World) Road() *traffic.Road { return w.road }
+// Fleet returns the underlying mobility substrate.
+func (w *World) Fleet() traffic.Fleet { return w.fleet }
+
+// Road returns the underlying ring-road simulation, or nil when the world
+// runs over a road-graph network (use Fleet for substrate-agnostic access).
+func (w *World) Road() *traffic.Road {
+	r, _ := w.fleet.(*traffic.Road)
+	return r
+}
+
+// Network returns the underlying road-graph network, or nil when the world
+// runs over the legacy ring road.
+func (w *World) Network() *traffic.Network {
+	nw, _ := w.fleet.(*traffic.Network)
+	return nw
+}
 
 // Channel returns the channel model.
 func (w *World) Channel() *channel.Model { return w.model }
@@ -199,24 +301,18 @@ func (w *World) Heading(i int) geom.Bearing { return w.heading[i] }
 // Speed returns vehicle i's current speed.
 func (w *World) Speed(i int) units.MeterPerSec { return w.speed[i] }
 
-// Refresh recomputes positions and the pair table from the road state. Call
-// after every traffic step (the paper's 5 ms update).
+// Refresh recomputes positions and the pair table from the fleet state.
+// Call after every traffic step (the paper's 5 ms update).
 func (w *World) Refresh() {
-	rcfg := w.road.Config()
-	vehicles := w.road.Vehicles()
-	for i, v := range vehicles {
-		w.pos[i] = rcfg.Position(v)
-		w.heading[i] = rcfg.Heading(v)
-		w.speed[i] = units.MeterPerSec(v.V)
+	for i := 0; i < w.n; i++ {
+		w.pos[i], w.heading[i], w.speed[i] = w.fleet.Pose(i)
 	}
 
-	// Re-sort the cached x-order permutation for the blocker prune. The
-	// previous tick's order is nearly sorted, so the insertion sort is O(n)
-	// amortized and allocation-free.
-	order, xs := w.order, w.xs
+	// Re-sort the cached x-order permutation. The previous tick's order is
+	// nearly sorted, so the insertion sort is O(n) amortized and
+	// allocation-free. Ranks define the canonical link order below.
 	w.sortOrderByX()
-	for k, i := range order {
-		xs[k] = w.pos[i].X
+	for k, i := range w.order {
 		w.rank[i] = int32(k)
 	}
 
@@ -225,48 +321,74 @@ func (w *World) Refresh() {
 		w.neighbors[i] = w.neighbors[i][:0]
 	}
 
-	maxLen := 0.0
-	for i, v := range vehicles {
-		l, wd := rcfg.Dimensions(v)
+	maxDiag := 0.0
+	for i := 0; i < w.n; i++ {
+		l, wd := w.fleet.BodyDims(i)
 		w.halfLen[i] = l / 2
 		w.halfWid[i] = wd / 2
-		if l > maxLen {
-			maxLen = l
+		w.halfDiag[i] = math.Hypot(l/2, wd/2)
+		if w.halfDiag[i] > maxDiag {
+			maxDiag = w.halfDiag[i]
 		}
+		w.frames[i] = geom.NewBodyFrame(geom.Rect{
+			Center: w.pos[i], Heading: w.heading[i], HalfLen: l / 2, HalfWid: wd / 2,
+		})
 	}
-	// Sweep pairs in x order: only vehicles within the interference range
-	// along x can be in range at all, which cuts the pair scan from O(N²)
-	// to O(N·k) at the paper's densities. Statistics accumulate in locals
-	// and are observed once per refresh, off the inner loop.
+
+	// Rebuild the spatial hash: ascending vehicle index per bucket.
+	for c := range w.cells {
+		w.cells[c] = w.cells[c][:0]
+	}
+	for i := 0; i < w.n; i++ {
+		c := w.cellY(w.pos[i].Y)*w.cellsX + w.cellX(w.pos[i].X)
+		w.cells[c] = append(w.cells[c], int32(i))
+	}
+
+	// Enumerate pairs: each vehicle scans its cell neighborhood out to the
+	// interference range and processes exactly the partners of higher
+	// x-rank, so every unordered pair is handled once, from its lower-rank
+	// side — the orientation the legacy x-sweep used. Candidates beyond
+	// range are culled on cheap coordinate deltas before any channel math.
+	// Statistics accumulate in locals and are observed once per refresh.
 	entries, nlos := 0, 0
-	for ka := 0; ka < w.n; ka++ {
-		a := order[ka]
-		for kb := ka + 1; kb < w.n; kb++ {
-			b := order[kb]
-			if w.pos[b].X-w.pos[a].X > w.cfg.InterferenceRange.M() {
-				break
-			}
-			d := w.pos[a].Dist(w.pos[b])
-			//mmv2v:exact Dist is exactly 0 only for identical coordinates (co-located sentinel)
-			if d > w.cfg.InterferenceRange || d == 0 {
-				continue
-			}
-			blockers := w.countBlockers(a, b, order, xs, maxLen)
-			gain := w.model.PathGainLin(d, blockers) * w.shadowFactor(a, b)
-			if w.linkFault != nil {
-				gain *= w.linkFault.LinkFactorLin(a, b)
-			}
-			bAB := w.pos[a].BearingTo(w.pos[b])
-			bBA := geom.NormalizeBearing(bAB + geom.Bearing(math.Pi))
-			w.links[a] = append(w.links[a], Link{J: b, Dist: d, Bearing: bAB, Blockers: blockers, PathGainLin: gain})
-			w.links[b] = append(w.links[b], Link{J: a, Dist: d, Bearing: bBA, Blockers: blockers, PathGainLin: gain})
-			entries += 2
-			if blockers > 0 {
-				nlos++
-			}
-			if blockers == 0 && d <= w.cfg.CommRange {
-				w.neighbors[a] = append(w.neighbors[a], b)
-				w.neighbors[b] = append(w.neighbors[b], a)
+	rangeM := w.cfg.InterferenceRange.M()
+	for a := 0; a < w.n; a++ {
+		pa := w.pos[a]
+		ra := w.rank[a]
+		cx, cy := w.cellX(pa.X), w.cellY(pa.Y)
+		x0, x1 := maxInt(cx-w.reach, 0), minInt(cx+w.reach, w.cellsX-1)
+		y0, y1 := maxInt(cy-w.reach, 0), minInt(cy+w.reach, w.cellsY-1)
+		for gy := y0; gy <= y1; gy++ {
+			for gx := x0; gx <= x1; gx++ {
+				for _, bi := range w.cells[gy*w.cellsX+gx] {
+					b := int(bi)
+					if w.rank[b] <= ra {
+						continue
+					}
+					pb := w.pos[b]
+					if pb.X-pa.X > rangeM || pa.X-pb.X > rangeM ||
+						pb.Y-pa.Y > rangeM || pa.Y-pb.Y > rangeM {
+						continue
+					}
+					d := pa.Dist(pb)
+					//mmv2v:exact Dist is exactly 0 only for identical coordinates (co-located sentinel)
+					if d > w.cfg.InterferenceRange || d == 0 {
+						continue
+					}
+					blockers := w.countBlockers(a, b, d.M(), maxDiag)
+					gain := w.model.PathGainLin(d, blockers) * w.shadowFactor(a, b)
+					if w.linkFault != nil {
+						gain *= w.linkFault.LinkFactorLin(a, b)
+					}
+					bAB := pa.BearingTo(pb)
+					bBA := geom.NormalizeBearing(bAB + geom.Bearing(math.Pi))
+					w.links[a] = append(w.links[a], Link{J: b, Dist: d, Bearing: bAB, Blockers: blockers, PathGainLin: gain})
+					w.links[b] = append(w.links[b], Link{J: a, Dist: d, Bearing: bBA, Blockers: blockers, PathGainLin: gain})
+					entries += 2
+					if blockers > 0 {
+						nlos++
+					}
+				}
 			}
 		}
 	}
@@ -274,10 +396,16 @@ func (w *World) Refresh() {
 	w.obsRefreshLinks.Observe(float64(entries))
 	w.obsNLOSLinks.Add(uint64(nlos))
 
-	// Rebuild the per-vehicle rank-window slot tables. The sweep appended
-	// each vehicle's links in ascending partner-rank order, so the first and
-	// last entries bound the band of x-ranks its partners occupy.
+	// Canonicalize per-vehicle link order (ascending partner rank — what
+	// the x-sweep produced by construction), derive the LOS neighbor sets,
+	// and rebuild the rank-window slot tables.
 	for i, ls := range w.links {
+		w.sortLinksByRank(ls)
+		for _, l := range ls {
+			if l.Blockers == 0 && l.Dist <= w.cfg.CommRange {
+				w.neighbors[i] = append(w.neighbors[i], l.J)
+			}
+		}
 		if len(ls) == 0 {
 			w.slotLo[i] = 0
 			w.slots[i] = w.slots[i][:0]
@@ -285,6 +413,13 @@ func (w *World) Refresh() {
 		}
 		lo := w.rank[ls[0].J]
 		width := int(w.rank[ls[len(ls)-1].J]-lo) + 1
+		if width > 8*len(ls)+32 {
+			// Sparse rank band (2-D road graph): binary-search fallback
+			// keeps index memory O(links).
+			w.slotLo[i] = -1
+			w.slots[i] = w.slots[i][:0]
+			continue
+		}
 		s := w.slots[i]
 		if cap(s) < width {
 			s = make([]int32, width)
@@ -300,6 +435,64 @@ func (w *World) Refresh() {
 		w.slotLo[i] = lo
 		w.slots[i] = s
 	}
+}
+
+// sortLinksByRank sorts a link slice by ascending partner x-rank. Ranks are
+// unique, so the order is total and independent of both the cell
+// enumeration order that produced the slice and the sort algorithm. Short
+// slices insertion-sort; the long per-vehicle tables of dense road-graph
+// worlds go through a median-of-three quicksort so the canonicalization
+// pass stays O(k log k).
+func (w *World) sortLinksByRank(ls []Link) {
+	for len(ls) > 24 {
+		p := w.partitionLinks(ls)
+		// Recurse into the smaller half; loop on the larger to bound stack depth.
+		if p < len(ls)-p-1 {
+			w.sortLinksByRank(ls[:p])
+			ls = ls[p+1:]
+		} else {
+			w.sortLinksByRank(ls[p+1:])
+			ls = ls[:p]
+		}
+	}
+	for i := 1; i < len(ls); i++ {
+		l := ls[i]
+		r := w.rank[l.J]
+		j := i - 1
+		for j >= 0 && w.rank[ls[j].J] > r {
+			ls[j+1] = ls[j]
+			j--
+		}
+		ls[j+1] = l
+	}
+}
+
+// partitionLinks Lomuto-partitions ls around a median-of-three pivot rank
+// and returns the pivot's final index.
+func (w *World) partitionLinks(ls []Link) int {
+	hi := len(ls) - 1
+	m := hi / 2
+	r0, rm, rh := w.rank[ls[0].J], w.rank[ls[m].J], w.rank[ls[hi].J]
+	var pi int
+	switch {
+	case (rm <= r0) == (r0 <= rh):
+		pi = 0
+	case (r0 <= rm) == (rm <= rh):
+		pi = m
+	default:
+		pi = hi
+	}
+	ls[pi], ls[hi] = ls[hi], ls[pi]
+	p := w.rank[ls[hi].J]
+	i := 0
+	for j := 0; j < hi; j++ {
+		if w.rank[ls[j].J] < p {
+			ls[i], ls[j] = ls[j], ls[i]
+			i++
+		}
+	}
+	ls[i], ls[hi] = ls[hi], ls[i]
+	return i
 }
 
 // sortOrderByX insertion-sorts the cached vehicle permutation by x
@@ -339,48 +532,83 @@ func (w *World) shadowFactor(a, b int) float64 {
 }
 
 // countBlockers counts vehicle bodies crossing the a–b segment, excluding
-// the endpoints' own bodies. Candidates are pruned to vehicles whose x lies
-// within the segment's x-extent (padded by the longest body on the road).
-func (w *World) countBlockers(a, b int, order []int, xs []float64, maxLen float64) int {
+// the endpoints' own bodies. Candidates come from the spatial-hash cells
+// overlapping the segment's bounding box padded by the largest body
+// half-diagonal, then pass two per-candidate culls — center inside the
+// padded bounding box, and center within its own half-diagonal of the LOS
+// line — before the exact oriented-rectangle test. Both culls are sound
+// supersets on any body heading, so counts are identical to an exhaustive
+// scan. dM is the a–b distance in meters.
+func (w *World) countBlockers(a, b int, dM, maxDiag float64) int {
 	pa, pb := w.pos[a], w.pos[b]
-	lox := math.Min(pa.X, pb.X) - maxLen
-	hix := math.Max(pa.X, pb.X) + maxLen
-	loY := math.Min(pa.Y, pb.Y) - 3
-	hiY := math.Max(pa.Y, pb.Y) + 3
-	start := sort.SearchFloat64s(xs, lox)
+	lox, hix := math.Min(pa.X, pb.X), math.Max(pa.X, pb.X)
+	loy, hiy := math.Min(pa.Y, pb.Y), math.Max(pa.Y, pb.Y)
+	x0, x1 := w.cellX(lox-maxDiag), w.cellX(hix+maxDiag)
+	y0, y1 := w.cellY(loy-maxDiag), w.cellY(hiy+maxDiag)
+	abx, aby := pb.X-pa.X, pb.Y-pa.Y
+	pos, halfDiag, frames := w.pos, w.halfDiag, w.frames
 	blockers := 0
-	for k := start; k < len(xs) && xs[k] <= hix; k++ {
-		c := order[k]
-		if c == a || c == b {
-			continue
-		}
-		pc := w.pos[c]
-		if pc.Y < loY || pc.Y > hiY {
-			continue
-		}
-		body := geom.Rect{Center: pc, Heading: w.heading[c], HalfLen: w.halfLen[c], HalfWid: w.halfWid[c]}
-		if geom.SegmentIntersectsRect(pa, pb, body) {
-			blockers++
+	for gy := y0; gy <= y1; gy++ {
+		for gx := x0; gx <= x1; gx++ {
+			for _, ci := range w.cells[gy*w.cellsX+gx] {
+				c := int(ci)
+				if c == a || c == b {
+					continue
+				}
+				pc := pos[c]
+				diag := halfDiag[c]
+				if pc.X < lox-diag || pc.X > hix+diag || pc.Y < loy-diag || pc.Y > hiy+diag {
+					continue
+				}
+				// Perpendicular distance from the candidate's center to the
+				// LOS line exceeds its half-diagonal → no part of the body
+				// can reach the segment.
+				cross := abx*(pc.Y-pa.Y) - aby*(pc.X-pa.X)
+				if cross > diag*dM || -cross > diag*dM {
+					continue
+				}
+				if frames[c].SegmentIntersects(pa, pb) {
+					blockers++
+				}
+			}
 		}
 	}
 	return blockers
 }
 
 // Link returns the pair-table entry from i toward j, if within interference
-// range. Vehicle i's partners occupy a contiguous band of x-ranks, so the
-// lookup is one O(1) probe of i's rank-window slot table — as fast as the
-// dense O(n²) pair matrix it replaced, at O(links) memory.
+// range. When vehicle i's partners occupy a contiguous band of x-ranks (1-D
+// roads) the lookup is one O(1) probe of i's rank-window slot table; on
+// sparse rank bands (road graphs) it binary-searches the rank-sorted link
+// slice.
 func (w *World) Link(i, j int) (Link, bool) {
-	r := w.rank[j] - w.slotLo[i]
-	s := w.slots[i]
-	if uint(r) >= uint(len(s)) {
-		return Link{}, false
+	if lo := w.slotLo[i]; lo >= 0 {
+		r := w.rank[j] - lo
+		s := w.slots[i]
+		if uint(r) >= uint(len(s)) {
+			return Link{}, false
+		}
+		k := s[r]
+		if k < 0 {
+			return Link{}, false
+		}
+		return w.links[i][k], true
 	}
-	k := s[r]
-	if k < 0 {
-		return Link{}, false
+	ls := w.links[i]
+	rj := w.rank[j]
+	lo, hi := 0, len(ls)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if w.rank[ls[mid].J] < rj {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	return w.links[i][k], true
+	if lo < len(ls) && ls[lo].J == j {
+		return ls[lo], true
+	}
+	return Link{}, false
 }
 
 // Links returns all pair-table entries of vehicle i (within interference
@@ -415,6 +643,16 @@ func (w *World) AvgNeighborCount() float64 {
 	return float64(total) / float64(w.n)
 }
 
+// TotalLinks returns the number of directed link-table entries of the
+// current snapshot (diagnostics for scale scenarios).
+func (w *World) TotalLinks() int {
+	total := 0
+	for i := range w.links {
+		total += len(w.links[i])
+	}
+	return total
+}
+
 // beamGain evaluates the antenna gain of a beam toward a target bearing.
 func (w *World) beamGain(beam phy.Beam, toward geom.Bearing) float64 {
 	if beam.IsOmni() {
@@ -445,4 +683,18 @@ func (w *World) SNRdB(tx, rx int, txBeam, rxBeam phy.Beam) units.DB {
 		return units.DB(math.Inf(-1))
 	}
 	return units.RatioDB(p, w.model.NoiseMw())
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

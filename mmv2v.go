@@ -82,6 +82,25 @@ func DefaultScenario(densityVPL float64, seed uint64) ScenarioConfig {
 	return sim.DefaultConfig(densityVPL, seed)
 }
 
+// GridConfig describes a Manhattan-grid road network for city-scale
+// scenarios: Rows × Cols intersections, BlockM-long blocks, one directed
+// segment per travel direction per edge. Assign one to
+// ScenarioConfig.Grid (see GridScenario) to replace the straight road.
+type GridConfig = traffic.GridConfig
+
+// DefaultGridConfig returns an urban grid sized for the given vehicle
+// count: 12×12 intersections, 500 m blocks, two lanes each way at 30–60 km/h.
+func DefaultGridConfig(vehicles int) GridConfig { return traffic.DefaultGridConfig(vehicles) }
+
+// GridScenario returns the paper's channel/task scenario moved onto a city
+// road-graph network: same 60 GHz channel, frames and HRIE task, with the
+// straight road replaced by the given grid.
+func GridScenario(grid GridConfig, seed uint64) ScenarioConfig {
+	cfg := sim.DefaultConfig(15, seed)
+	cfg.Grid = &grid
+	return cfg
+}
+
 // DefaultParams returns the paper's chosen mmV2V configuration:
 // p=0.5, K=3, M=40, C=7, S=24 sectors, α=30°, β=12°, θ_min=3°.
 func DefaultParams() Params { return core.DefaultParams() }

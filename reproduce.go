@@ -134,3 +134,22 @@ func DefaultFaultsOptions() FaultsOptions { return experiments.DefaultFaultsOpti
 func RunFaultSweep(opts FaultsOptions) (*FaultsResult, error) {
 	return experiments.FaultSweep(opts)
 }
+
+// CityOptions parameterize the city-grid protocol comparison: the OHM
+// schemes evaluated on a Manhattan road-graph network instead of the
+// paper's straight road (our extension; see GridConfig for the topology).
+type CityOptions = experiments.CityOptions
+
+// CityResult holds the city-grid comparison.
+type CityResult = experiments.CityResult
+
+// DefaultCityOptions returns the standard downtown setting: a 3×3
+// intersection grid with 200 m blocks and 180 vehicles.
+func DefaultCityOptions() CityOptions { return experiments.DefaultCityOptions() }
+
+// ReproduceCity runs the OHM protocol comparison on a city road-graph
+// network — intersections, cross-street blockage and turning traffic
+// replace the highway platooning of the straight-road scenarios.
+func ReproduceCity(opts CityOptions) (*CityResult, error) {
+	return experiments.City(opts)
+}
