@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint unitcheck test test-short race bench bench-json profile experiments examples faults city fuzz-smoke clean
+.PHONY: all build vet lint unitcheck test test-short race bench bench-json profile experiments examples faults city replay fuzz-smoke clean
 
 all: build vet lint test
 
@@ -60,12 +60,20 @@ city:
 	$(GO) run ./cmd/mmv2v-sim -world grid -drive 10
 	$(GO) run ./cmd/mmv2v-experiments -fig city -trials 1
 
-# Short fuzzing pass over the geometry, channel and spatial-index kernels
-# (mirrors CI).
+# Replay the committed golden run log and diff a live re-execution against
+# its recorded per-window digests; fails on the first divergence (the
+# byte-identical replay gate, DESIGN.md §11).
+replay:
+	$(GO) run ./cmd/mmv2v-replay -verify testdata/golden.runlog
+
+# Short fuzzing pass over the geometry, channel, spatial-index and
+# persistence-codec kernels (mirrors CI).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSegmentBlocked -fuzztime=10s ./internal/geom/
 	$(GO) test -run='^$$' -fuzz=FuzzSINR -fuzztime=10s ./internal/channel/
 	$(GO) test -run='^$$' -fuzz=FuzzCellCoord -fuzztime=10s ./internal/world/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeSnapshot -fuzztime=10s ./internal/persist/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeLog -fuzztime=10s ./internal/persist/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -22,6 +22,14 @@
 // that panics is retried -retry times and then reported on stderr as a
 // TrialError with a repro command, while the remaining trials still pool.
 //
+// -checkpoint <dir> makes every trial write a versioned, checksummed
+// snapshot of its full state after each completed measurement window; under
+// -retry, failed trials resume from their last snapshot instead of tick
+// zero, and -resume <file> re-runs one interrupted trial from its snapshot
+// (the other flags must reproduce the snapshot's scenario). -runlog <file>
+// records a replayable run log of the whole pooled run — re-render or
+// verify it with mmv2v-replay. See DESIGN.md §11.
+//
 // -stats <path> records per-layer statistics (discovery sweeps, control
 // frames, SINR histograms, airtime per MCS, ...) and writes them to the
 // path as JSON Lines — or CSV when the path ends in .csv — plus a summary
@@ -34,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -68,6 +77,9 @@ func run() (err error) {
 		statsOut  = flag.String("stats", "", "record per-layer statistics and write them to this file (CSV if the path ends in .csv, JSON Lines otherwise)")
 		cpuOut    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memOut    = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
+		ckptDir   = flag.String("checkpoint", "", "directory for per-trial snapshots after every completed window; with -retry, failed trials resume from their last snapshot (per-protocol subdirectories under -protocol all)")
+		resumeCkp = flag.String("resume", "", "resume one trial from this snapshot file and report it alone (requires a single -protocol; flags must reproduce the snapshot's scenario)")
+		runlogOut = flag.String("runlog", "", "write a replayable run log to this file (requires a single -protocol; verify or re-render it with mmv2v-replay)")
 		worldKind = flag.String("world", "road", "mobility substrate: road (straight 1 km road) or grid (Manhattan road network)")
 		gridRows  = flag.Int("rows", 0, "grid world: intersection rows (0 = 3 for protocol runs, 12 for -drive)")
 		gridCols  = flag.Int("cols", 0, "grid world: intersection columns (0 = 3 for protocol runs, 12 for -drive)")
@@ -157,6 +169,20 @@ func run() (err error) {
 		}
 		names = []string{*protocol}
 	}
+	if *resumeCkp != "" || *runlogOut != "" {
+		if len(names) > 1 {
+			return fmt.Errorf("-resume and -runlog need a single -protocol, not all")
+		}
+		if *resumeCkp != "" && *runlogOut != "" {
+			return fmt.Errorf("-resume replays one trial and cannot record a full run log")
+		}
+		if *resumeCkp != "" && *traceOut != "" {
+			return fmt.Errorf("-resume cannot reconstruct trace events of completed windows; drop -trace")
+		}
+		if *runlogOut != "" && *statsOut != "" {
+			return fmt.Errorf("-runlog records metric tables, not the -stats registry; drop one of the two")
+		}
+	}
 
 	if !*jsonOut {
 		if cfg.Grid != nil {
@@ -180,7 +206,25 @@ func run() (err error) {
 	var rows []jsonRow
 	var statsRows []mmv2v.StatsRow
 	for _, name := range names {
-		res, err := mmv2v.RunTrials(cfg, factories[name], *trials)
+		pcfg := cfg
+		if *ckptDir != "" {
+			pcfg.Checkpoint = *ckptDir
+			if len(names) > 1 {
+				// Checkpoint files are keyed by trial index alone; give each
+				// protocol its own directory so they cannot collide.
+				pcfg.Checkpoint = filepath.Join(*ckptDir, name)
+			}
+		}
+		var res *mmv2v.Result
+		var err error
+		switch {
+		case *resumeCkp != "":
+			res, err = mmv2v.Resume(pcfg, factories[name], *resumeCkp)
+		case *runlogOut != "":
+			res, err = mmv2v.RunTrialsLogged(pcfg, factories[name], *trials, runLogHeader(name, cfg, *density, *seed, *trials, *seconds, *windows, *demand, *intensity, *k, *m, *c), *runlogOut)
+		default:
+			res, err = mmv2v.RunTrials(pcfg, factories[name], *trials)
+		}
 		if err != nil {
 			return err
 		}
@@ -223,6 +267,34 @@ func run() (err error) {
 		}
 	}
 	return writeMemProfile(*memOut)
+}
+
+// runLogHeader assembles the run-log scenario recipe from the CLI flags;
+// RunTrialsLogged cross-checks it against the running config's fingerprint
+// before simulating anything, so a recipe that would not replay this run
+// fails loudly up front.
+func runLogHeader(protocol string, cfg mmv2v.ScenarioConfig, density float64, seed uint64, trials int, seconds float64, windows int, demand, intensity float64, k, m, c int) mmv2v.RunLogHeader {
+	h := mmv2v.RunLogHeader{
+		Protocol:       protocol,
+		K:              k,
+		M:              m,
+		C:              c,
+		DensityVPL:     density,
+		Seed:           seed,
+		Trials:         trials,
+		WindowSec:      seconds,
+		Windows:        windows,
+		DemandBits:     demand,
+		FaultIntensity: intensity,
+	}
+	if cfg.Grid != nil {
+		h.Grid = true
+		h.DensityVPL = 0
+		h.GridRows, h.GridCols = cfg.Grid.Rows, cfg.Grid.Cols
+		h.GridBlockM = cfg.Grid.BlockM
+		h.GridVehicles = cfg.Grid.Vehicles
+	}
+	return h
 }
 
 // writeStats exports the pooled statistics rows to path — CSV when the

@@ -1,0 +1,287 @@
+// Checkpoint support (DESIGN.md §11) for both baselines. As with the mmV2V
+// engine, checkpoints land at drained window boundaries: durable state is
+// whatever survives across RunFrame calls — ROP's discovered sets, sticky
+// matches and idle counters; 802.11ad's PBSS memberships (sticky for
+// ReassocEvery frames), heard beacons and round-robin rotations — plus any
+// still-open UDT sessions. Map keys are encoded sorted so the bytes are
+// canonical.
+package baseline
+
+import (
+	"sort"
+
+	"mmv2v/internal/des"
+	"mmv2v/internal/persist"
+	"mmv2v/internal/udt"
+	"mmv2v/internal/units"
+)
+
+// discoveryWireBytes is the minimum encoded size of one discovery entry,
+// used to clamp hostile entry counts.
+const discoveryWireBytes = 8 + 8 + 8 + 8
+
+// saveDiscoveryMap appends one vehicle's discovery map in ascending key
+// order (shared by ROP's discovered sets and AD's heard-beacon sets).
+func saveDiscoveryMap(e *persist.Encoder, m map[int]*discovery) {
+	keys := make([]int, 0, len(m))
+	//mmv2v:sorted pure key collection; sorted below before encoding
+	for j := range m {
+		keys = append(keys, j)
+	}
+	sort.Ints(keys)
+	e.U32(uint32(len(keys)))
+	for _, j := range keys {
+		info := m[j]
+		e.Int(j)
+		e.F64(info.snrDB.Decibels())
+		e.Int(info.towardSector)
+		e.Int(info.lastFrame)
+	}
+}
+
+// loadDiscoveryMap restores one vehicle's discovery map. Peers must be
+// valid vehicle indices other than the owner; sectors must index the
+// codebook.
+func loadDiscoveryMap(d *persist.Decoder, owner, n, sectors int) map[int]*discovery {
+	cnt := d.Count(discoveryWireBytes)
+	m := make(map[int]*discovery, cnt)
+	for k := 0; k < cnt; k++ {
+		j := d.Int()
+		info := &discovery{
+			snrDB:        units.DB(d.F64()),
+			towardSector: d.Int(),
+			lastFrame:    d.Int(),
+		}
+		if d.Err() != nil {
+			return m
+		}
+		if j < 0 || j >= n || j == owner {
+			d.Failf("vehicle %d discovered invalid peer %d (of %d vehicles)", owner, j, n)
+			return m
+		}
+		if info.towardSector < 0 || info.towardSector >= sectors {
+			d.Failf("vehicle %d sector %d toward peer %d outside [0, %d)", owner, info.towardSector, j, sectors)
+			return m
+		}
+		m[j] = info
+	}
+	return m
+}
+
+// SaveState appends ROP's durable state (sim.Stateful).
+func (r *ROP) SaveState(e *persist.Encoder) {
+	e.Int(r.frame)
+	e.I64(int64(r.frameEnd))
+	for i := range r.discovered {
+		saveDiscoveryMap(e, r.discovered[i])
+	}
+	for _, m := range r.matched {
+		e.Int(m)
+	}
+	for _, b := range r.pairBits {
+		e.F64(b)
+	}
+	for _, f := range r.idleFrames {
+		e.Int(f)
+	}
+	e.Bool(r.session != nil)
+	if r.session != nil {
+		r.session.SaveState(e)
+	}
+}
+
+// LoadState restores state checkpointed by SaveState (sim.Stateful).
+func (r *ROP) LoadState(d *persist.Decoder) error {
+	frame := d.Int()
+	frameEnd := des.Time(d.I64())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	n := r.env.N()
+	discovered := make([]map[int]*discovery, n)
+	for i := 0; i < n; i++ {
+		discovered[i] = loadDiscoveryMap(d, i, n, r.cfg.Codebook.Sectors.Count)
+		if d.Err() != nil {
+			return d.Err()
+		}
+	}
+	matched := make([]int, n)
+	for i := range matched {
+		m := d.Int()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if m != -1 && (m < 0 || m >= n || m == i) {
+			d.Failf("vehicle %d matched to invalid partner %d (of %d vehicles)", i, m, n)
+			return d.Err()
+		}
+		matched[i] = m
+	}
+	pairBits := make([]float64, n)
+	for i := range pairBits {
+		pairBits[i] = d.F64()
+	}
+	idleFrames := make([]int, n)
+	for i := range idleFrames {
+		idleFrames[i] = d.Int()
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	var session *udt.Session
+	if d.Bool() {
+		var err error
+		if session, err = udt.Restore(r.env, d); err != nil {
+			return err
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	r.frame = frame
+	r.frameEnd = frameEnd
+	r.discovered = discovered
+	r.matched = matched
+	r.pairBits = pairBits
+	r.idleFrames = idleFrames
+	r.session = session
+	return nil
+}
+
+// SaveState appends the 802.11ad baseline's durable state (sim.Stateful).
+func (a *AD) SaveState(e *persist.Encoder) {
+	e.Int(a.frame)
+	for _, p := range a.isPCP {
+		e.Bool(p)
+	}
+	for i := range a.heardBeacons {
+		saveDiscoveryMap(e, a.heardBeacons[i])
+	}
+	for _, j := range a.joined {
+		e.Int(j)
+	}
+	e.Bool(a.members != nil)
+	if a.members != nil {
+		pcps := make([]int, 0, len(a.members))
+		//mmv2v:sorted pure key collection; sorted below before encoding
+		for p := range a.members {
+			pcps = append(pcps, p)
+		}
+		sort.Ints(pcps)
+		e.U32(uint32(len(pcps)))
+		for _, p := range pcps {
+			e.Int(p)
+			ms := a.members[p]
+			e.U32(uint32(len(ms)))
+			for _, m := range ms {
+				e.Int(m)
+			}
+		}
+	}
+	rotKeys := make([]int, 0, len(a.spRotation))
+	//mmv2v:sorted pure key collection; sorted below before encoding
+	for p := range a.spRotation {
+		rotKeys = append(rotKeys, p)
+	}
+	sort.Ints(rotKeys)
+	e.U32(uint32(len(rotKeys)))
+	for _, p := range rotKeys {
+		e.Int(p)
+		e.Int(a.spRotation[p])
+	}
+	e.U32(uint32(len(a.sessions)))
+	for _, s := range a.sessions {
+		s.SaveState(e)
+	}
+}
+
+// LoadState restores state checkpointed by SaveState (sim.Stateful).
+func (a *AD) LoadState(d *persist.Decoder) error {
+	frame := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	n := a.env.N()
+	isPCP := make([]bool, n)
+	for i := range isPCP {
+		isPCP[i] = d.Bool()
+	}
+	heard := make([]map[int]*discovery, n)
+	for i := 0; i < n; i++ {
+		heard[i] = loadDiscoveryMap(d, i, n, a.cfg.Codebook.Sectors.Count)
+		if d.Err() != nil {
+			return d.Err()
+		}
+	}
+	joined := make([]int, n)
+	for i := range joined {
+		j := d.Int()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if j != -1 && (j < 0 || j >= n) {
+			d.Failf("vehicle %d joined invalid PBSS %d (of %d vehicles)", i, j, n)
+			return d.Err()
+		}
+		joined[i] = j
+	}
+	var members map[int][]int
+	if d.Bool() {
+		np := d.Count(2 * 8)
+		members = make(map[int][]int, np)
+		for k := 0; k < np; k++ {
+			p := d.Int()
+			nm := d.Count(8)
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if p < 0 || p >= n {
+				d.Failf("PBSS keyed by invalid PCP %d (of %d vehicles)", p, n)
+				return d.Err()
+			}
+			ms := make([]int, 0, nm)
+			for x := 0; x < nm; x++ {
+				m := d.Int()
+				if d.Err() != nil {
+					return d.Err()
+				}
+				if m < 0 || m >= n {
+					d.Failf("PBSS %d has invalid member %d (of %d vehicles)", p, m, n)
+					return d.Err()
+				}
+				ms = append(ms, m)
+			}
+			members[p] = ms
+		}
+	}
+	nr := d.Count(2 * 8)
+	rotation := make(map[int]int, nr)
+	for k := 0; k < nr; k++ {
+		p := d.Int()
+		v := d.Int()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		rotation[p] = v
+	}
+	ns := d.Count(2)
+	sessions := make([]*udt.Session, 0, ns)
+	for k := 0; k < ns; k++ {
+		s, err := udt.Restore(a.env, d)
+		if err != nil {
+			return err
+		}
+		sessions = append(sessions, s)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	a.frame = frame
+	a.isPCP = isPCP
+	a.heardBeacons = heard
+	a.joined = joined
+	a.members = members
+	a.spRotation = rotation
+	a.sessions = sessions
+	return nil
+}

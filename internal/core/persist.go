@@ -1,0 +1,158 @@
+// Checkpoint support (DESIGN.md §11). A checkpoint lands at a drained
+// window boundary, which for the protocol engine is between teardownUDT of
+// the previous frame (not yet run) and the next RunFrame: the durable state
+// is the discovered-neighbor sets, the frame counter, the diagnostics, and
+// a possibly-still-open UDT session whose final cross-boundary accrual the
+// next window's first refresh hook performs. Per-slot working state (cand,
+// roleTx, negPeer, gotMsg, pendingBreak) is reset by RunFrame and is not
+// serialized. Map keys are encoded sorted so the bytes are canonical.
+package core
+
+import (
+	"sort"
+
+	"mmv2v/internal/des"
+	"mmv2v/internal/persist"
+	"mmv2v/internal/udt"
+	"mmv2v/internal/units"
+)
+
+// neighborWireBytes is the minimum encoded size of one discovered-neighbor
+// entry, used to clamp hostile entry counts.
+const neighborWireBytes = 8 + 8 + 8 + 8
+
+// saveDiscovered appends one vehicle's neighbor map in ascending key order.
+func saveDiscovered(e *persist.Encoder, m map[int]*neighborInfo) {
+	keys := make([]int, 0, len(m))
+	//mmv2v:sorted pure key collection; sorted below before encoding
+	for j := range m {
+		keys = append(keys, j)
+	}
+	sort.Ints(keys)
+	e.U32(uint32(len(keys)))
+	for _, j := range keys {
+		info := m[j]
+		e.Int(j)
+		e.F64(info.snrDB.Decibels())
+		e.Int(info.towardSector)
+		e.Int(info.lastFrame)
+	}
+}
+
+// loadDiscovered restores one vehicle's neighbor map. Peers must be valid
+// vehicle indices other than the owner; sectors must index the codebook.
+func loadDiscovered(d *persist.Decoder, owner, n, sectors int) map[int]*neighborInfo {
+	cnt := d.Count(neighborWireBytes)
+	m := make(map[int]*neighborInfo, cnt)
+	for k := 0; k < cnt; k++ {
+		j := d.Int()
+		info := &neighborInfo{
+			snrDB:        units.DB(d.F64()),
+			towardSector: d.Int(),
+			lastFrame:    d.Int(),
+		}
+		if d.Err() != nil {
+			return m
+		}
+		if j < 0 || j >= n || j == owner {
+			d.Failf("vehicle %d discovered invalid peer %d (of %d vehicles)", owner, j, n)
+			return m
+		}
+		if info.towardSector < 0 || info.towardSector >= sectors {
+			d.Failf("vehicle %d sector %d toward peer %d outside [0, %d)", owner, info.towardSector, j, sectors)
+			return m
+		}
+		m[j] = info
+	}
+	return m
+}
+
+// SaveState appends the engine's durable state (sim.Stateful).
+func (p *Protocol) SaveState(e *persist.Encoder) {
+	e.Int(p.frame)
+	e.I64(int64(p.frameEnd))
+	e.U64(p.DiscoveredTotal)
+	e.U64(p.Negotiations)
+	e.U64(p.Matches)
+	e.U64(p.BreakupsSent)
+	e.U64(p.RefineFailures)
+	for i := range p.discovered {
+		saveDiscovered(e, p.discovered[i])
+	}
+	e.Bool(p.udt.session != nil)
+	if p.udt.session != nil {
+		p.udt.session.SaveState(e)
+	}
+}
+
+// LoadState restores state checkpointed by SaveState (sim.Stateful).
+func (p *Protocol) LoadState(d *persist.Decoder) error {
+	frame := d.Int()
+	frameEnd := des.Time(d.I64())
+	discoveredTotal := d.U64()
+	negotiations := d.U64()
+	matches := d.U64()
+	breakups := d.U64()
+	refineFailures := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	n := p.env.N()
+	discovered := make([]map[int]*neighborInfo, n)
+	for i := 0; i < n; i++ {
+		discovered[i] = loadDiscovered(d, i, n, p.cfg.Codebook.Sectors.Count)
+		if d.Err() != nil {
+			return d.Err()
+		}
+	}
+	var session *udt.Session
+	if d.Bool() {
+		var err error
+		if session, err = udt.Restore(p.env, d); err != nil {
+			return err
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	p.frame = frame
+	p.frameEnd = frameEnd
+	p.DiscoveredTotal = discoveredTotal
+	p.Negotiations = negotiations
+	p.Matches = matches
+	p.BreakupsSent = breakups
+	p.RefineFailures = refineFailures
+	p.discovered = discovered
+	p.udt.session = session
+	return nil
+}
+
+// SaveState appends the oracle's durable state (sim.Stateful).
+func (o *Oracle) SaveState(e *persist.Encoder) {
+	e.Int(o.frame)
+	e.Bool(o.session != nil)
+	if o.session != nil {
+		o.session.SaveState(e)
+	}
+}
+
+// LoadState restores state checkpointed by SaveState (sim.Stateful).
+func (o *Oracle) LoadState(d *persist.Decoder) error {
+	frame := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	var session *udt.Session
+	if d.Bool() {
+		var err error
+		if session, err = udt.Restore(o.env, d); err != nil {
+			return err
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	o.frame = frame
+	o.session = session
+	return nil
+}

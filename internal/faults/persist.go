@@ -1,0 +1,88 @@
+// Checkpoint support (DESIGN.md §11). The injector's chains are lazy: a
+// pair's Gilbert–Elliott chain catches up from tick 0 on first query,
+// incrementing the blocked-tick diagnostics for every blocked evaluation
+// along the way. Restoring the chain maps (rather than letting them
+// re-derive) is therefore required for resume exactness — a re-derivation
+// would double-count diagnostics and re-advance chains past the
+// checkpointed tick. Keys are encoded in sorted order so the bytes are
+// canonical.
+package faults
+
+import (
+	"slices"
+
+	"mmv2v/internal/des"
+	"mmv2v/internal/persist"
+)
+
+// SaveState appends the injector's mutable state: both lazy chain maps
+// plus the drop/blockage diagnostics. Config-derived probabilities are
+// rebuilt by NewInjector, not stored.
+func (f *Injector) SaveState(e *persist.Encoder) {
+	geKeys := make([]uint64, 0, len(f.ge))
+	//mmv2v:sorted pure key collection; sorted below before encoding
+	for k := range f.ge {
+		geKeys = append(geKeys, k)
+	}
+	slices.Sort(geKeys)
+	e.U32(uint32(len(geKeys)))
+	for _, k := range geKeys {
+		st := f.ge[k]
+		e.U64(k)
+		e.I64(st.tick)
+		e.Bool(st.blocked)
+	}
+
+	radioKeys := make([]int, 0, len(f.radio))
+	//mmv2v:sorted pure key collection; sorted below before encoding
+	for k := range f.radio {
+		radioKeys = append(radioKeys, k)
+	}
+	slices.Sort(radioKeys)
+	e.U32(uint32(len(radioKeys)))
+	for _, k := range radioKeys {
+		st := f.radio[k]
+		e.Int(k)
+		e.U64(st.k)
+		e.I64(int64(st.end))
+		e.Bool(st.up)
+	}
+
+	e.U64(f.DroppedFrames)
+	e.U64(f.BlockedTicks)
+}
+
+// LoadState restores state checkpointed by SaveState onto an injector
+// rebuilt with the same (config, seed).
+func (f *Injector) LoadState(d *persist.Decoder) error {
+	nge := d.Count(8 + 8 + 1)
+	ge := make(map[uint64]*geState, nge)
+	for i := 0; i < nge; i++ {
+		k := d.U64()
+		st := &geState{tick: d.I64(), blocked: d.Bool()}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		ge[k] = st
+	}
+	nr := d.Count(8 + 8 + 8 + 1)
+	radio := make(map[int]*radioState, nr)
+	for i := 0; i < nr; i++ {
+		k := d.Int()
+		st := &radioState{k: d.U64(), end: des.Time(d.I64()), up: d.Bool()}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		radio[k] = st
+	}
+	dropped := d.U64()
+	blocked := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	f.ge = ge
+	f.radio = radio
+	f.DroppedFrames = dropped
+	f.BlockedTicks = blocked
+	return nil
+}

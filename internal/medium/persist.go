@@ -1,0 +1,39 @@
+// Checkpoint support (DESIGN.md §11). Checkpoints are taken at drained
+// window boundaries, where no control frame is in flight and the next
+// window begins with Reset — so the medium's durable state is only the
+// stream-ID allocator (restored sessions hold previously issued IDs, and
+// new IDs must not collide with them) plus the run-scope diagnostics.
+package medium
+
+import "mmv2v/internal/persist"
+
+// SaveState appends the medium's durable state.
+func (m *Medium) SaveState(e *persist.Encoder) {
+	e.I64(m.nextID)
+	e.U64(m.Delivered)
+	e.U64(m.Lost)
+	e.U64(m.FaultLost)
+	e.U64(m.FaultMutedTx)
+}
+
+// LoadState restores state checkpointed by SaveState.
+func (m *Medium) LoadState(d *persist.Decoder) error {
+	nextID := d.I64()
+	delivered := d.U64()
+	lost := d.U64()
+	faultLost := d.U64()
+	faultMuted := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if nextID < 1 {
+		d.Failf("medium stream allocator cursor %d below 1", nextID)
+		return d.Err()
+	}
+	m.nextID = nextID
+	m.Delivered = delivered
+	m.Lost = lost
+	m.FaultLost = faultLost
+	m.FaultMutedTx = faultMuted
+	return nil
+}

@@ -1,0 +1,76 @@
+// Checkpoint support (DESIGN.md §11): the ledger serializes its pair maps
+// with sorted keys so the encoding is canonical — two ledgers with equal
+// contents always produce identical bytes, which the snapshot CRC and the
+// run-log digests rely on.
+package metrics
+
+import (
+	"slices"
+
+	"mmv2v/internal/persist"
+)
+
+// saveMap appends a map keyed by pair index in ascending key order.
+func saveMap(e *persist.Encoder, m map[int64]float64) {
+	keys := make([]int64, 0, len(m))
+	//mmv2v:sorted pure key collection; sorted below before encoding
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	e.U32(uint32(len(keys)))
+	for _, k := range keys {
+		e.I64(k)
+		e.F64(m[k])
+	}
+}
+
+// loadMap restores a map appended by saveMap, rejecting keys outside
+// [0, limit) as it decodes — the wire order is sorted, so the first error
+// reported is deterministic.
+func loadMap(d *persist.Decoder, limit int64) map[int64]float64 {
+	n := d.Count(16)
+	m := make(map[int64]float64, n)
+	for i := 0; i < n; i++ {
+		k := d.I64()
+		v := d.F64()
+		if d.Err() != nil {
+			return m
+		}
+		if k < 0 || k >= limit {
+			d.Failf("ledger pair key %d outside [0, %d)", k, limit)
+			return m
+		}
+		m[k] = v
+	}
+	return m
+}
+
+// SaveState appends the ledger's full contents.
+func (l *Ledger) SaveState(e *persist.Encoder) {
+	e.Int(l.n)
+	saveMap(e, l.bits)
+	saveMap(e, l.first)
+}
+
+// LoadState restores contents checkpointed by SaveState. The vehicle count
+// must match the ledger's; pair keys outside [0, n²) are rejected.
+func (l *Ledger) LoadState(d *persist.Decoder) error {
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != l.n {
+		d.Failf("checkpoint ledger sized for %d vehicles, this run has %d", n, l.n)
+		return d.Err()
+	}
+	limit := int64(l.n) * int64(l.n)
+	bits := loadMap(d, limit)
+	first := loadMap(d, limit)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	l.bits = bits
+	l.first = first
+	return nil
+}

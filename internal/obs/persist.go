@@ -1,0 +1,126 @@
+// Checkpoint support (DESIGN.md §11): a registry serializes every
+// instrument with names in sorted order — a canonical encoding — and
+// restores IN PLACE, mutating existing instruments rather than replacing
+// them. In-place restoration matters because instrumented layers hold
+// pre-fetched handles into the registry: a resumed environment first
+// rebuilds its layers (which re-register their handles with zero values),
+// then LoadState overwrites the live instruments with checkpointed values
+// without invalidating any handle.
+package obs
+
+import (
+	"sort"
+
+	"mmv2v/internal/persist"
+)
+
+// sortedNames returns the keys of a string-keyed map in ascending order.
+func sortedNames[T any](m map[string]T) []string {
+	names := make([]string, 0, len(m))
+	//mmv2v:sorted pure key collection; sorted below before encoding
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SaveState appends the registry's full contents in canonical order.
+func (r *Registry) SaveState(e *persist.Encoder) {
+	e.U32(uint32(len(r.counters)))
+	for _, name := range sortedNames(r.counters) {
+		e.String(name)
+		e.U64(r.counters[name].n)
+	}
+	e.U32(uint32(len(r.gauges)))
+	for _, name := range sortedNames(r.gauges) {
+		g := r.gauges[name]
+		e.String(name)
+		e.U64(g.count)
+		e.F64(g.sum)
+		e.F64(g.min)
+		e.F64(g.max)
+	}
+	e.U32(uint32(len(r.hists)))
+	for _, name := range sortedNames(r.hists) {
+		h := r.hists[name]
+		e.String(name)
+		e.U32(uint32(len(h.bounds)))
+		for _, b := range h.bounds {
+			e.F64(b)
+		}
+		for _, c := range h.counts {
+			e.U64(c)
+		}
+		e.U64(h.count)
+		e.F64(h.sum)
+	}
+}
+
+// LoadState restores contents checkpointed by SaveState, creating missing
+// instruments and overwriting existing ones in place. A histogram that
+// already exists (re-registered by a rebuilt layer) must carry the same
+// bucket schema as the checkpoint; restored schemas are validated as
+// non-empty and sorted, so the registry's construction invariant holds
+// even for hostile input.
+func (r *Registry) LoadState(d *persist.Decoder) error {
+	nc := d.Count(8 + 4)
+	for i := 0; i < nc; i++ {
+		name := d.String()
+		n := d.U64()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		r.Counter(name).n = n
+	}
+	ng := d.Count(4 + 8*4)
+	for i := 0; i < ng; i++ {
+		name := d.String()
+		count := d.U64()
+		sum := d.F64()
+		min := d.F64()
+		max := d.F64()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		g := r.Gauge(name)
+		g.count, g.sum, g.min, g.max = count, sum, min, max
+	}
+	nh := d.Count(4 + 4 + 8 + 8 + 8)
+	for i := 0; i < nh; i++ {
+		name := d.String()
+		nb := d.Count(8)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		bounds := make([]float64, nb)
+		for k := range bounds {
+			bounds[k] = d.F64()
+		}
+		counts := make([]uint64, nb+1)
+		for k := range counts {
+			counts[k] = d.U64()
+		}
+		count := d.U64()
+		sum := d.F64()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if len(bounds) == 0 || !sort.Float64sAreSorted(bounds) {
+			d.Failf("histogram %q has empty or unsorted bounds", name)
+			return d.Err()
+		}
+		h := r.hists[name]
+		if h == nil {
+			h = r.Histogram(name, bounds)
+		}
+		if len(h.bounds) != len(bounds) {
+			d.Failf("histogram %q bucket schema mismatch (%d vs %d bounds)", name, len(h.bounds), len(bounds))
+			return d.Err()
+		}
+		copy(h.bounds, bounds)
+		copy(h.counts, counts)
+		h.count, h.sum = count, sum
+	}
+	return d.Err()
+}

@@ -108,6 +108,16 @@ func Gather(n int, job func(i int) error) error {
 // returned error is non-nil only when every trial failed (the join of all
 // TrialErrors, lowest trial first).
 func (r *Runner) RunTrials(cfg Config, factory Factory, trials int) (*Result, error) {
+	return r.RunTrialsEach(cfg, factory, trials, nil)
+}
+
+// RunTrialsEach runs like RunTrials and, after the pool drains, additionally
+// invokes each(trial, result) for every successful trial in ascending trial
+// order — the hook the run-log writer uses to record per-trial windows and
+// digests. Because the hook fires from the per-index slot buffer after all
+// workers finish, its call sequence is deterministic for any worker count.
+// A nil hook is valid (RunTrials passes one).
+func (r *Runner) RunTrialsEach(cfg Config, factory Factory, trials int, each func(trial int, res *Result)) (*Result, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("sim: non-positive trial count %d", trials)
 	}
@@ -119,6 +129,7 @@ func (r *Runner) RunTrials(cfg Config, factory Factory, trials int) (*Result, er
 	_ = r.Do(trials, func(tr int) error {
 		c := cfg
 		c.Seed = xrand.Mix(cfg.Seed, uint64(tr))
+		c.Trial = tr
 		var res *Result
 		var err error
 		for attempt := 0; attempt <= cfg.Retry; attempt++ {
@@ -126,6 +137,19 @@ func (r *Runner) RunTrials(cfg Config, factory Factory, trials int) (*Result, er
 				retriedMu.Lock()
 				retried++
 				retriedMu.Unlock()
+				// With checkpointing on, retry from the trial's last good
+				// snapshot instead of tick zero — the resumed result is
+				// byte-identical to an uninterrupted run. A missing or
+				// corrupt snapshot (crash before the first window, torn
+				// file) falls back to a scratch re-run; traced runs always
+				// re-run from scratch because completed windows' events
+				// cannot be reconstructed.
+				if c.Checkpoint != "" && cfg.Trace == nil {
+					if rres, rerr := resumeIsolated(c, factory, CheckpointPath(c.Checkpoint, tr)); rerr == nil {
+						res, err = rres, nil
+						break
+					}
+				}
 			}
 			// Each attempt traces into a fresh private capture so a
 			// retried crash leaves no partial events behind; only the
@@ -151,6 +175,11 @@ func (r *Runner) RunTrials(cfg Config, factory Factory, trials int) (*Result, er
 				FaultsOn:   c.Faults != nil && c.Faults.Enabled(),
 				Err:        err,
 			}
+			if c.Checkpoint != "" {
+				if p := CheckpointPath(c.Checkpoint, tr); fileExists(p) {
+					te.Checkpoint = p
+				}
+			}
 			var pe *PanicError
 			if errors.As(err, &pe) {
 				te.Stack = pe.Stack
@@ -174,7 +203,14 @@ func (r *Runner) RunTrials(cfg Config, factory Factory, trials int) (*Result, er
 			}
 		}
 	}
-	pooled := mergeTrials(results)
+	if each != nil {
+		for tr, res := range results {
+			if res != nil {
+				each(tr, res)
+			}
+		}
+	}
+	pooled := MergeTrials(results)
 	pooled.Retried = retried
 	for _, f := range failures {
 		if f != nil {
@@ -191,9 +227,11 @@ func (r *Runner) RunTrials(cfg Config, factory Factory, trials int) (*Result, er
 	return pooled, nil
 }
 
-// mergeTrials pools per-trial results in slice (= trial) order, skipping
+// MergeTrials pools per-trial results in slice (= trial) order, skipping
 // failed (nil) slots; each failure degrades one data point, not the run.
-func mergeTrials(results []*Result) *Result {
+// Exported for the run-log replay path, which reconstructs the per-trial
+// results from a log and re-pools them exactly as the original run did.
+func MergeTrials(results []*Result) *Result {
 	pooled := &Result{}
 	parts := make([][]metrics.VehicleStats, 0, len(results))
 	regs := make([]*obs.Registry, 0, len(results))

@@ -77,6 +77,20 @@ type Config struct {
 	// pooled registries merge in trial order into Result.Obs. False (the
 	// default) keeps every instrumented hot path a zero-cost no-op.
 	Stats bool
+	// Checkpoint, when non-empty, is a directory where each trial writes a
+	// versioned, checksummed snapshot of its full state after every
+	// completed measurement window (at drained event-queue boundaries, so
+	// the snapshot is exact; see DESIGN.md §11). A crashed or killed trial
+	// then resumes from its last good snapshot via Resume — and under
+	// Config.Retry, RunTrials retries failed trials from their checkpoint
+	// instead of from tick zero. Requires the protocol to implement
+	// Stateful (all protocols in this repository do). Empty (the default)
+	// disables checkpointing entirely.
+	Checkpoint string
+	// Trial names this run's checkpoint file inside the Checkpoint
+	// directory (CheckpointPath). RunTrials sets it to the trial index;
+	// single runs default to 0.
+	Trial int
 }
 
 // DefaultConfig returns the paper's scenario at a given traffic density
@@ -359,15 +373,38 @@ func RunOnEnv(cfg Config, env *Env, factory Factory) (*Result, error) {
 	if cfg.Windows <= 0 || cfg.WindowSec <= 0 {
 		return nil, fmt.Errorf("sim: invalid window settings (%d × %v s)", cfg.Windows, cfg.WindowSec)
 	}
-	proto := factory(env)
+	return runWindows(cfg, env, factory(env), nil, 0)
+}
 
+// runWindows executes measurement windows [firstWin, cfg.Windows) over the
+// environment and folds the results onto any previously completed windows
+// (Resume passes the snapshot's; a fresh run passes none). When
+// cfg.Checkpoint is set, a snapshot is written after each completed window
+// whose boundary left the event queue drained — boundaries with residual
+// events (which window timing never produces, but nothing forbids) simply
+// keep the previous snapshot valid.
+func runWindows(cfg Config, env *Env, proto Protocol, completed []WindowResult, firstWin int) (*Result, error) {
 	res := &Result{Protocol: proto.Name()}
 	framesPerWindow := int(cfg.WindowSec / cfg.Timing.Frame.Seconds())
 	if framesPerWindow < 1 {
 		return nil, fmt.Errorf("sim: window %vs cannot hold a %v frame", cfg.WindowSec, cfg.Timing.Frame)
 	}
+	var st Stateful
+	if cfg.Checkpoint != "" {
+		var ok bool
+		if st, ok = proto.(Stateful); !ok {
+			return nil, fmt.Errorf("sim: protocol %q does not support checkpointing (no SaveState/LoadState)", proto.Name())
+		}
+	}
+	for _, w := range completed {
+		res.Windows = append(res.Windows, w)
+		res.Stats = append(res.Stats, w.Stats...)
+		res.AvgNeighbors += w.AvgNeighbors
+		res.LatencySumSec += w.LatencySumSec
+		res.LatencyPairs += w.LatencyPairs
+	}
 
-	for win := 0; win < cfg.Windows; win++ {
+	for win := firstWin; win < cfg.Windows; win++ {
 		env.Ledger.Reset()
 		env.Medium.Reset()
 		denominator := env.World.NeighborSnapshot()
@@ -390,6 +427,13 @@ func RunOnEnv(cfg Config, env *Env, factory Factory) (*Result, error) {
 		res.AvgNeighbors += avgN
 		res.LatencySumSec += latSum
 		res.LatencyPairs += latPairs
+
+		// A snapshot after the final window would never be resumed; skip it.
+		if st != nil && win < cfg.Windows-1 && env.Sim.Drained() {
+			if err := writeCheckpoint(cfg, env, st, res.Windows); err != nil {
+				return nil, err
+			}
+		}
 	}
 	res.Summary = metrics.Summarize(res.Stats)
 	res.AvgNeighbors /= float64(cfg.Windows)

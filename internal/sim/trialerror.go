@@ -10,6 +10,7 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"runtime/debug"
 	"strings"
 )
@@ -28,6 +29,11 @@ type TrialError struct {
 	Seed       uint64
 	// FaultsOn records whether fault injection was active in the run.
 	FaultsOn bool
+	// Checkpoint is the failing trial's last good snapshot file, when
+	// Config.Checkpoint was set and a snapshot had been written; the repro
+	// command resumes from it so the crash reproduces from the last window
+	// boundary instead of replaying the whole trial.
+	Checkpoint string
 	// Err is the underlying failure; a recovered panic is wrapped as a
 	// PanicError. Stack is the goroutine stack captured at recovery
 	// (empty when the trial returned an ordinary error).
@@ -51,6 +57,9 @@ func (e *TrialError) Unwrap() error { return e.Err }
 func (e *TrialError) Repro() string {
 	cmd := fmt.Sprintf("go run ./cmd/mmv2v-sim -density %g -seed %d -trials %d",
 		e.DensityVPL, e.BaseSeed, e.Trial+1)
+	if e.Checkpoint != "" {
+		cmd += fmt.Sprintf(" -resume %s", e.Checkpoint)
+	}
 	if e.FaultsOn {
 		cmd += " -faults <intensity>  # re-apply this run's FaultConfig"
 	}
@@ -75,6 +84,24 @@ func runIsolated(cfg Config, factory Factory) (res *Result, err error) {
 		}
 	}()
 	return Run(cfg, factory)
+}
+
+// resumeIsolated resumes one trial from a snapshot with panics converted
+// into PanicErrors (a deterministic crash recurs on resume just as it
+// would on a scratch re-run).
+func resumeIsolated(cfg Config, factory Factory, path string) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: string(debug.Stack())}
+		}
+	}()
+	return Resume(cfg, factory, path)
+}
+
+// fileExists reports whether path names an existing file.
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // scenarioLabel summarizes a config for TrialError messages.

@@ -1,0 +1,127 @@
+// Checkpoint support (DESIGN.md §11): both Fleet implementations can
+// serialize their mutable state — per-vehicle kinematics plus the elapsed
+// clock and RNG cursor — and restore it onto a freshly rebuilt instance.
+//
+// The restore contract is rebuild-then-load: the caller reconstructs the
+// fleet from the same (config, seed) pair that produced the checkpoint, so
+// structure (vehicle count, segment geometry, derived child streams) is
+// regenerated deterministically, and LoadState then overwrites only the
+// state that mobility steps mutate. Loaders validate every index they
+// restore against the rebuilt structure, so a corrupted checkpoint yields
+// a structured error, never a panic.
+package traffic
+
+import "mmv2v/internal/persist"
+
+// saveVehicles appends the mutable fields of every vehicle.
+func saveVehicles(e *persist.Encoder, vs []*Vehicle) {
+	e.U32(uint32(len(vs)))
+	for _, v := range vs {
+		e.Int(v.ID)
+		e.Int(int(v.Class))
+		e.Int(int(v.Dir))
+		e.Int(v.Lane)
+		e.F64(v.S)
+		e.F64(v.V)
+		e.F64(v.A)
+		e.Int(v.Seg)
+		e.Int(v.Hops)
+		e.F64(v.Quantile)
+		e.F64(v.DesiredV)
+		e.F64(v.sinceLaneChange)
+	}
+}
+
+// vehicleWireBytes is the encoded size of one vehicle (12 fixed 8-byte
+// fields), used to clamp the restored count against the input.
+const vehicleWireBytes = 12 * 8
+
+// loadVehicles restores the mutable fields of a rebuilt vehicle slice.
+// The checkpointed count must match the rebuilt count exactly; validate is
+// called per vehicle to reject structurally impossible indices.
+func loadVehicles(d *persist.Decoder, vs []*Vehicle, validate func(v *Vehicle) bool) {
+	n := d.Count(vehicleWireBytes)
+	if d.Err() != nil {
+		return
+	}
+	if n != len(vs) {
+		d.Failf("checkpoint has %d vehicles, rebuilt fleet has %d", n, len(vs))
+		return
+	}
+	for _, v := range vs {
+		v.ID = d.Int()
+		v.Class = Class(d.Int())
+		v.Dir = Direction(d.Int())
+		v.Lane = d.Int()
+		v.S = d.F64()
+		v.V = d.F64()
+		v.A = d.F64()
+		v.Seg = d.Int()
+		v.Hops = d.Int()
+		v.Quantile = d.F64()
+		v.DesiredV = d.F64()
+		v.sinceLaneChange = d.F64()
+		if d.Err() != nil {
+			return
+		}
+		if v.Class != ClassCar && v.Class != ClassTruck {
+			d.Failf("vehicle %d has unknown class %d", v.ID, v.Class)
+			return
+		}
+		if !validate(v) {
+			d.Failf("vehicle %d has out-of-range lane/segment (%d, %d)", v.ID, v.Lane, v.Seg)
+			return
+		}
+	}
+}
+
+// SaveState appends the road's mutable state: elapsed time, RNG cursor and
+// every vehicle's kinematics.
+func (r *Road) SaveState(e *persist.Encoder) {
+	e.F64(r.elapsed)
+	e.U64(r.rng.Cursor())
+	saveVehicles(e, r.vehicles)
+}
+
+// LoadState restores state checkpointed by SaveState onto a road rebuilt
+// from the same (config, seed).
+func (r *Road) LoadState(d *persist.Decoder) error {
+	elapsed := d.F64()
+	cursor := d.U64()
+	loadVehicles(d, r.vehicles, func(v *Vehicle) bool {
+		return v.Lane >= 0 && v.Lane < r.cfg.LanesPerDir &&
+			(v.Dir == Eastbound || v.Dir == Westbound)
+	})
+	if err := d.Err(); err != nil {
+		return err
+	}
+	r.elapsed = elapsed
+	r.rng.SetCursor(cursor)
+	return nil
+}
+
+// SaveState appends the network's mutable state: elapsed time, RNG cursor
+// and every vehicle's kinematics. Segment geometry, routing tables and the
+// route seed are derived from (config, seed) and rebuilt, not stored.
+func (nw *Network) SaveState(e *persist.Encoder) {
+	e.F64(nw.elapsed)
+	e.U64(nw.rng.Cursor())
+	saveVehicles(e, nw.vehicles)
+}
+
+// LoadState restores state checkpointed by SaveState onto a network
+// rebuilt from the same (config, seed).
+func (nw *Network) LoadState(d *persist.Decoder) error {
+	elapsed := d.F64()
+	cursor := d.U64()
+	loadVehicles(d, nw.vehicles, func(v *Vehicle) bool {
+		return v.Seg >= 0 && v.Seg < len(nw.segs) &&
+			v.Lane >= 0 && v.Lane < nw.segs[v.Seg].spec.Lanes
+	})
+	if err := d.Err(); err != nil {
+		return err
+	}
+	nw.elapsed = elapsed
+	nw.rng.SetCursor(cursor)
+	return nil
+}

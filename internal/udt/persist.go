@@ -1,0 +1,114 @@
+// Checkpoint support (DESIGN.md §11). A restored session must NOT go
+// through Start: Start opens fresh streams and increments the
+// "udt.sessions"/"udt.pairs_started" counters, both of which are already
+// accounted for in the restored registry. Restore rebuilds the statistics
+// handles without counting and carries the checkpointed stream IDs as-is —
+// checkpoints land at drained window boundaries where Medium.Reset has
+// cleared all live transmissions, so the IDs are stale in exactly the way
+// they are on the uncheckpointed path (StopStream on a stale ID is a
+// no-op, and the next OnRefresh opens fresh streams).
+package udt
+
+import (
+	"mmv2v/internal/des"
+	"mmv2v/internal/geom"
+	"mmv2v/internal/medium"
+	"mmv2v/internal/persist"
+	"mmv2v/internal/phy"
+	"mmv2v/internal/sim"
+	"mmv2v/internal/units"
+)
+
+// pairWireBytes is the minimum encoded size of one pairState, used to clamp
+// hostile pair counts.
+const pairWireBytes = 2*8 + 4*8 + 1 + 8 + 8 + 8 + 8 + 1
+
+// SaveState appends the session's full transfer state.
+func (s *Session) SaveState(e *persist.Encoder) {
+	e.Bool(s.open)
+	e.Bool(s.track)
+	if s.track {
+		e.Int(s.trackCB.Sectors.Count)
+		e.F64(s.trackCB.TxWidth.Rad())
+		e.F64(s.trackCB.RxWidth.Rad())
+		e.F64(s.trackCB.NarrowWidth.Rad())
+	}
+	e.U32(uint32(len(s.pairs)))
+	for _, ps := range s.pairs {
+		e.Int(ps.A)
+		e.Int(ps.B)
+		e.F64(float64(ps.BeamA.Bearing))
+		e.F64(ps.BeamA.Width.Rad())
+		e.F64(float64(ps.BeamB.Bearing))
+		e.F64(ps.BeamB.Width.Rad())
+		e.Bool(ps.dirAB)
+		e.I64(int64(ps.stream))
+		e.F64(ps.rate)
+		e.Int(int(ps.mcs))
+		e.I64(int64(ps.lastAccrual))
+		e.Bool(ps.done)
+	}
+}
+
+// Restore rebuilds a session checkpointed by SaveState over a resumed
+// environment. Pair endpoints must be valid vehicle indices and MCS values
+// must index the rate table (the airtime gauge array is MCS-indexed).
+func Restore(env *sim.Env, d *persist.Decoder) (*Session, error) {
+	s := &Session{env: env}
+	if env.Obs != nil {
+		for m := range s.airtime {
+			s.airtime[m] = env.Obs.Gauge(mcsAirtimeNames[m])
+		}
+		s.obsCompletions = env.Obs.Counter("udt.completions")
+	}
+	s.open = d.Bool()
+	s.track = d.Bool()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if s.track {
+		cb := phy.Codebook{
+			Sectors:     geom.Sectors{Count: d.Int()},
+			TxWidth:     units.Radian(d.F64()),
+			RxWidth:     units.Radian(d.F64()),
+			NarrowWidth: units.Radian(d.F64()),
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if err := cb.Validate(); err != nil {
+			d.Failf("session tracking codebook invalid: %v", err)
+			return nil, d.Err()
+		}
+		s.trackCB = cb
+	}
+	n := env.World.NumVehicles()
+	np := d.Count(pairWireBytes)
+	for i := 0; i < np; i++ {
+		ps := &pairState{}
+		ps.A = d.Int()
+		ps.B = d.Int()
+		ps.BeamA = phy.Beam{Bearing: geom.Bearing(d.F64()), Width: units.Radian(d.F64())}
+		ps.BeamB = phy.Beam{Bearing: geom.Bearing(d.F64()), Width: units.Radian(d.F64())}
+		ps.dirAB = d.Bool()
+		ps.stream = medium.StreamID(d.I64())
+		ps.rate = d.F64()
+		mcs := d.Int()
+		ps.lastAccrual = des.Time(d.I64())
+		ps.done = d.Bool()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if ps.A < 0 || ps.A >= n || ps.B < 0 || ps.B >= n || ps.A == ps.B {
+			d.Failf("session pair %d endpoints (%d, %d) invalid for %d vehicles", i, ps.A, ps.B, n)
+			return nil, d.Err()
+		}
+		if mcs < 0 || mcs >= phy.NumMCS {
+			d.Failf("session pair %d MCS %d outside [0, %d)", i, mcs, phy.NumMCS)
+			return nil, d.Err()
+		}
+		ps.mcs = phy.MCS(mcs)
+		s.pairs = append(s.pairs, ps)
+	}
+	return s, nil
+}

@@ -1,0 +1,113 @@
+// Checkpoint support (DESIGN.md §11). The world snapshots its x-order
+// permutation and the full link table rather than re-deriving them on
+// restore: a restore-time Refresh would re-query the link-fault hook for
+// every in-range pair, advancing the injector's Gilbert–Elliott chains and
+// double-counting fault diagnostics. LoadState instead restores the saved
+// table and rebuilds every derived structure (poses, body frames, spatial
+// hash, neighbor sets, rank-window slots) from the already-restored fleet
+// — the exact state the next window's first Refresh would have seen.
+package world
+
+import (
+	"mmv2v/internal/geom"
+	"mmv2v/internal/persist"
+	"mmv2v/internal/units"
+)
+
+// linkWireBytes is the minimum encoded size of one Link (J, Dist, Bearing,
+// Blockers, PathGainLin), used to clamp hostile link counts.
+const linkWireBytes = 5 * 8
+
+// SaveState appends the world's durable snapshot state: the x-order
+// permutation (its incremental re-sort history is not reconstructible from
+// poses alone once ties have occurred) and the link table. Everything else
+// is rebuilt from the fleet on restore.
+func (w *World) SaveState(e *persist.Encoder) {
+	e.Int(w.n)
+	for _, i := range w.order {
+		e.Int(i)
+	}
+	for i := 0; i < w.n; i++ {
+		ls := w.links[i]
+		e.U32(uint32(len(ls)))
+		for _, l := range ls {
+			e.Int(l.J)
+			e.F64(l.Dist.M())
+			e.F64(float64(l.Bearing))
+			e.Int(l.Blockers)
+			e.F64(l.PathGainLin)
+		}
+	}
+}
+
+// LoadState restores state checkpointed by SaveState onto a world rebuilt
+// over the restored fleet. The vehicle count must match, the saved order
+// must be a permutation of [0, n), and every link partner must be a valid
+// vehicle index other than the owner. On success all derived state is
+// rebuilt; on any error the world is left untouched.
+func (w *World) LoadState(d *persist.Decoder) error {
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != w.n {
+		d.Failf("checkpoint world sized for %d vehicles, this run has %d", n, w.n)
+		return d.Err()
+	}
+	order := make([]int, n)
+	seen := make([]bool, n)
+	for k := range order {
+		i := d.Int()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if i < 0 || i >= n || seen[i] {
+			d.Failf("world order[%d]=%d is not part of a [0,%d) permutation", k, i, n)
+			return d.Err()
+		}
+		seen[i] = true
+		order[k] = i
+	}
+	links := make([][]Link, n)
+	for i := 0; i < n; i++ {
+		nl := d.Count(linkWireBytes)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		ls := make([]Link, 0, nl)
+		for k := 0; k < nl; k++ {
+			l := Link{
+				J:           d.Int(),
+				Dist:        units.Meter(d.F64()),
+				Bearing:     geom.Bearing(d.F64()),
+				Blockers:    d.Int(),
+				PathGainLin: d.F64(),
+			}
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if l.J < 0 || l.J >= n || l.J == i {
+				d.Failf("world link %d of vehicle %d targets invalid vehicle %d", k, i, l.J)
+				return d.Err()
+			}
+			ls = append(ls, l)
+		}
+		links[i] = ls
+	}
+
+	w.order = order
+	for k, i := range w.order {
+		w.rank[i] = int32(k)
+	}
+	w.links = links
+	w.loadPoses()
+	w.rebuildGeometry()
+	w.rebuildCells()
+	for i := range w.links {
+		// Saved tables are already rank-canonical; re-sorting is idempotent
+		// there and restores the Link() lookup invariant on hostile input.
+		w.sortLinksByRank(w.links[i])
+	}
+	w.rebuildIndex()
+	return nil
+}

@@ -301,12 +301,49 @@ func (w *World) Heading(i int) geom.Bearing { return w.heading[i] }
 // Speed returns vehicle i's current speed.
 func (w *World) Speed(i int) units.MeterPerSec { return w.speed[i] }
 
-// Refresh recomputes positions and the pair table from the fleet state.
-// Call after every traffic step (the paper's 5 ms update).
-func (w *World) Refresh() {
+// loadPoses copies the fleet's current poses into the world's pose arrays.
+func (w *World) loadPoses() {
 	for i := 0; i < w.n; i++ {
 		w.pos[i], w.heading[i], w.speed[i] = w.fleet.Pose(i)
 	}
+}
+
+// rebuildGeometry refreshes the per-vehicle body extents and corner frames
+// from the current poses, returning the largest body half-diagonal (the
+// blocker-candidate padding bound).
+func (w *World) rebuildGeometry() float64 {
+	maxDiag := 0.0
+	for i := 0; i < w.n; i++ {
+		l, wd := w.fleet.BodyDims(i)
+		w.halfLen[i] = l / 2
+		w.halfWid[i] = wd / 2
+		w.halfDiag[i] = math.Hypot(l/2, wd/2)
+		if w.halfDiag[i] > maxDiag {
+			maxDiag = w.halfDiag[i]
+		}
+		w.frames[i] = geom.NewBodyFrame(geom.Rect{
+			Center: w.pos[i], Heading: w.heading[i], HalfLen: l / 2, HalfWid: wd / 2,
+		})
+	}
+	return maxDiag
+}
+
+// rebuildCells re-bins every vehicle into the spatial hash (ascending
+// vehicle index per bucket).
+func (w *World) rebuildCells() {
+	for c := range w.cells {
+		w.cells[c] = w.cells[c][:0]
+	}
+	for i := 0; i < w.n; i++ {
+		c := w.cellY(w.pos[i].Y)*w.cellsX + w.cellX(w.pos[i].X)
+		w.cells[c] = append(w.cells[c], int32(i))
+	}
+}
+
+// Refresh recomputes positions and the pair table from the fleet state.
+// Call after every traffic step (the paper's 5 ms update).
+func (w *World) Refresh() {
+	w.loadPoses()
 
 	// Re-sort the cached x-order permutation. The previous tick's order is
 	// nearly sorted, so the insertion sort is O(n) amortized and
@@ -321,28 +358,8 @@ func (w *World) Refresh() {
 		w.neighbors[i] = w.neighbors[i][:0]
 	}
 
-	maxDiag := 0.0
-	for i := 0; i < w.n; i++ {
-		l, wd := w.fleet.BodyDims(i)
-		w.halfLen[i] = l / 2
-		w.halfWid[i] = wd / 2
-		w.halfDiag[i] = math.Hypot(l/2, wd/2)
-		if w.halfDiag[i] > maxDiag {
-			maxDiag = w.halfDiag[i]
-		}
-		w.frames[i] = geom.NewBodyFrame(geom.Rect{
-			Center: w.pos[i], Heading: w.heading[i], HalfLen: l / 2, HalfWid: wd / 2,
-		})
-	}
-
-	// Rebuild the spatial hash: ascending vehicle index per bucket.
-	for c := range w.cells {
-		w.cells[c] = w.cells[c][:0]
-	}
-	for i := 0; i < w.n; i++ {
-		c := w.cellY(w.pos[i].Y)*w.cellsX + w.cellX(w.pos[i].X)
-		w.cells[c] = append(w.cells[c], int32(i))
-	}
+	maxDiag := w.rebuildGeometry()
+	w.rebuildCells()
 
 	// Enumerate pairs: each vehicle scans its cell neighborhood out to the
 	// interference range and processes exactly the partners of higher
@@ -396,9 +413,18 @@ func (w *World) Refresh() {
 	w.obsRefreshLinks.Observe(float64(entries))
 	w.obsNLOSLinks.Add(uint64(nlos))
 
-	// Canonicalize per-vehicle link order (ascending partner rank — what
-	// the x-sweep produced by construction), derive the LOS neighbor sets,
-	// and rebuild the rank-window slot tables.
+	w.rebuildIndex()
+}
+
+// rebuildIndex canonicalizes per-vehicle link order (ascending partner rank
+// — what the x-sweep produced by construction), derives the LOS neighbor
+// sets, and rebuilds the rank-window slot tables. It consumes only
+// w.links/w.rank, so checkpoint restore reuses it to rebuild the query
+// index from a restored link table without re-enumerating pairs.
+func (w *World) rebuildIndex() {
+	for i := range w.neighbors {
+		w.neighbors[i] = w.neighbors[i][:0]
+	}
 	for i, ls := range w.links {
 		w.sortLinksByRank(ls)
 		for _, l := range ls {

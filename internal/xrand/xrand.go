@@ -74,17 +74,31 @@ func (s *sm64) Seed(seed int64) { s.state = uint64(seed) }
 // through math/rand for its distribution helpers, and supporting derivation
 // of independent child streams.
 type Source struct {
-	seed uint64
-	rng  *rand.Rand
+	seed  uint64
+	state *sm64
+	rng   *rand.Rand
 }
 
 // New returns a Source rooted at the given seed.
 func New(seed uint64) *Source {
-	return &Source{seed: seed, rng: rand.New(&sm64{state: Mix(seed)})}
+	st := &sm64{state: Mix(seed)}
+	return &Source{seed: seed, state: st, rng: rand.New(st)}
 }
 
 // Seed returns the seed this source was created with.
 func (s *Source) Seed() uint64 { return s.seed }
+
+// Cursor returns the stream's position: the raw SplitMix64 state after
+// every draw consumed so far. Together with Seed it pins the stream
+// exactly, so a checkpointed simulation resumes mid-stream (DESIGN.md
+// §11). Only the 8-byte generator state is captured; none of the wrapped
+// math/rand distribution helpers used by the simulator buffer additional
+// state between calls.
+func (s *Source) Cursor() uint64 { return s.state.state }
+
+// SetCursor repositions the stream at a cursor previously captured from a
+// source with the same seed.
+func (s *Source) SetCursor(c uint64) { s.state.state = c }
 
 // Child derives an independent stream identified by a label and an arbitrary
 // list of indices (for example ("role", vehicleID, round)). Calling Child

@@ -1,0 +1,506 @@
+// End-to-end tests of deterministic persistence (DESIGN.md §11): snapshots
+// must be an exact pause button (checkpointed, resumed and crash-recovered
+// runs byte-identical to uninterrupted ones, for any worker count), and
+// every decode path must turn corrupted input into structured errors, never
+// panics.
+package mmv2v_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"mmv2v"
+	"mmv2v/internal/persist"
+	"mmv2v/internal/sim"
+)
+
+// persistScenario is the small scenario persistence tests run: several
+// windows so checkpoints are actually written, short windows so the suite
+// stays fast.
+func persistScenario(seed uint64) mmv2v.ScenarioConfig {
+	cfg := mmv2v.DefaultScenario(10, seed)
+	cfg.WindowSec = 0.2
+	cfg.Windows = 3
+	return cfg
+}
+
+// comparable strips a Result to the deterministic fields the byte-identity
+// contract covers (Obs holds pointers and Retried/Failures describe the
+// execution, not the outcome).
+type comparableResult struct {
+	Protocol      string
+	Windows       []mmv2v.WindowResult
+	Stats         []mmv2v.VehicleStats
+	Summary       mmv2v.Summary
+	AvgNeighbors  float64
+	LatencySumSec float64
+	LatencyPairs  int
+	Events        uint64
+	Trials        int
+}
+
+func stripResult(r *mmv2v.Result) comparableResult {
+	return comparableResult{
+		Protocol:      r.Protocol,
+		Windows:       r.Windows,
+		Stats:         r.Stats,
+		Summary:       r.Summary,
+		AvgNeighbors:  r.AvgNeighbors,
+		LatencySumSec: r.LatencySumSec,
+		LatencyPairs:  r.LatencyPairs,
+		Events:        r.Events,
+		Trials:        r.Trials,
+	}
+}
+
+func requireSameResult(t *testing.T, label string, want, got *mmv2v.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(stripResult(want), stripResult(got)) {
+		t.Fatalf("%s: results differ\nwant: %+v\ngot:  %+v", label, stripResult(want), stripResult(got))
+	}
+}
+
+// TestCheckpointedRunMatchesUncheckpointed pins that writing snapshots is
+// observationally free: a run with Config.Checkpoint set produces the same
+// bytes as one without.
+func TestCheckpointedRunMatchesUncheckpointed(t *testing.T) {
+	cfg := persistScenario(21)
+	cfg.Workers = 2
+	clean, err := mmv2v.RunTrials(cfg, mmv2v.MMV2V(mmv2v.DefaultParams()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Checkpoint = t.TempDir()
+	ckpt, err := mmv2v.RunTrials(cfg, mmv2v.MMV2V(mmv2v.DefaultParams()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "checkpointed vs clean", clean, ckpt)
+	for tr := 0; tr < 2; tr++ {
+		if _, err := os.Stat(mmv2v.CheckpointPath(cfg.Checkpoint, tr)); err != nil {
+			t.Errorf("trial %d snapshot missing: %v", tr, err)
+		}
+	}
+}
+
+// TestResumeMatchesUninterrupted pins the pause-button contract: resuming a
+// trial from its last snapshot reproduces the uninterrupted trial's result
+// byte-for-byte, including the DES event count.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	for _, proto := range []struct {
+		name string
+		f    mmv2v.Factory
+	}{
+		{"mmv2v", mmv2v.MMV2V(mmv2v.DefaultParams())},
+		{"rop", mmv2v.ROP(mmv2v.DefaultROPParams())},
+		{"ad", mmv2v.AD(mmv2v.DefaultADParams())},
+		{"oracle", mmv2v.Oracle(mmv2v.DefaultParams())},
+	} {
+		t.Run(proto.name, func(t *testing.T) {
+			cfg := persistScenario(9)
+			cfg.Checkpoint = t.TempDir()
+			full, err := mmv2v.RunTrials(cfg, proto.f, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := mmv2v.Resume(cfg, proto.f, mmv2v.CheckpointPath(cfg.Checkpoint, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, "resumed vs uninterrupted", full, resumed)
+		})
+	}
+}
+
+// TestResumeRejectsScenarioMismatch pins the fingerprint guard: a snapshot
+// must not resume under a different scenario.
+func TestResumeRejectsScenarioMismatch(t *testing.T) {
+	cfg := persistScenario(4)
+	cfg.Checkpoint = t.TempDir()
+	if _, err := mmv2v.RunTrials(cfg, mmv2v.MMV2V(mmv2v.DefaultParams()), 1); err != nil {
+		t.Fatal(err)
+	}
+	path := mmv2v.CheckpointPath(cfg.Checkpoint, 0)
+	other := cfg
+	other.DemandBits *= 2
+	if _, err := mmv2v.Resume(other, mmv2v.MMV2V(mmv2v.DefaultParams()), path); err == nil {
+		t.Error("resume under a different scenario succeeded")
+	} else if !strings.Contains(err.Error(), "different scenario") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if _, err := mmv2v.Resume(cfg, mmv2v.ROP(mmv2v.DefaultROPParams()), path); err == nil {
+		t.Error("resume under a different protocol succeeded")
+	}
+}
+
+// crashSet makes the injected crash fire exactly once per trial seed, so
+// the retried (resumed) attempt survives.
+type crashSet struct {
+	mu   sync.Mutex
+	done map[uint64]bool
+}
+
+func (s *crashSet) first(seed uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done[seed] {
+		return false
+	}
+	s.done[seed] = true
+	return true
+}
+
+// crashingProto delegates to a real protocol but panics at a seed-hashed
+// frame in window >= 1 on the first attempt per trial — after a checkpoint
+// exists, before the run completes.
+type crashingProto struct {
+	inner      sim.Stateful
+	seed       uint64
+	crashFrame int
+	set        *crashSet
+}
+
+func (p *crashingProto) Name() string { return p.inner.Name() }
+
+func (p *crashingProto) RunFrame(frame int) {
+	if frame == p.crashFrame && p.set.first(p.seed) {
+		panic(fmt.Sprintf("torture: injected crash at frame %d (seed %#x)", frame, p.seed))
+	}
+	p.inner.RunFrame(frame)
+}
+
+func (p *crashingProto) SaveState(e *persist.Encoder)       { p.inner.SaveState(e) }
+func (p *crashingProto) LoadState(d *persist.Decoder) error { return p.inner.LoadState(d) }
+
+func crashingFactory(f mmv2v.Factory, set *crashSet, framesPerWindow, windows int) mmv2v.Factory {
+	return func(env *sim.Env) sim.Protocol {
+		inner := f(env).(sim.Stateful)
+		span := framesPerWindow * (windows - 1)
+		return &crashingProto{
+			inner:      inner,
+			seed:       env.Seed,
+			crashFrame: framesPerWindow + int(env.Seed%uint64(span)),
+			set:        set,
+		}
+	}
+}
+
+// TestCrashResumeTortureByteIdentical is the torture smoke: every trial
+// panics mid-run at a seed-hashed frame, RunTrials retries from the trial's
+// last checkpoint, and the pooled tables must still be byte-identical to a
+// clean run — across worker counts.
+func TestCrashResumeTortureByteIdentical(t *testing.T) {
+	const trials = 3
+	base := persistScenario(77)
+	framesPerWindow := int(base.WindowSec / base.Timing.Frame.Seconds())
+	clean, err := mmv2v.RunTrials(base, mmv2v.MMV2V(mmv2v.DefaultParams()), trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := base
+			cfg.Workers = workers
+			cfg.Retry = 1
+			cfg.Checkpoint = t.TempDir()
+			factory := crashingFactory(mmv2v.MMV2V(mmv2v.DefaultParams()),
+				&crashSet{done: map[uint64]bool{}}, framesPerWindow, cfg.Windows)
+			res, err := mmv2v.RunTrials(cfg, factory, trials)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Retried != trials {
+				t.Errorf("retried = %d, want %d (every trial crashes once)", res.Retried, trials)
+			}
+			if len(res.Failures) != 0 {
+				t.Errorf("failures = %v", res.Failures)
+			}
+			requireSameResult(t, "crash-resumed vs clean", clean, res)
+		})
+	}
+}
+
+// TestTrialErrorCarriesCheckpoint pins the repro upgrade: a trial that dies
+// with checkpointing on reports its last snapshot and a -resume repro.
+func TestTrialErrorCarriesCheckpoint(t *testing.T) {
+	cfg := persistScenario(5)
+	cfg.Checkpoint = t.TempDir()
+	framesPerWindow := int(cfg.WindowSec / cfg.Timing.Frame.Seconds())
+	// A crash set that never reports "done" keeps the trial dying through
+	// its whole retry budget.
+	factory := func(env *sim.Env) sim.Protocol {
+		inner := mmv2v.MMV2V(mmv2v.DefaultParams())(env).(sim.Stateful)
+		return &crashingProto{inner: inner, seed: env.Seed,
+			crashFrame: framesPerWindow + 1, set: &crashSet{done: nil}}
+	}
+	res, err := mmv2v.RunTrials(cfg, factory, 1)
+	if res != nil || err == nil {
+		t.Fatalf("run with a always-crashing trial returned %v, %v", res, err)
+	}
+	var te *mmv2v.TrialError
+	if !asTrialError(err, &te) {
+		t.Fatalf("error %T does not unwrap to a TrialError: %v", err, err)
+	}
+	want := mmv2v.CheckpointPath(cfg.Checkpoint, 0)
+	if te.Checkpoint != want {
+		t.Errorf("TrialError.Checkpoint = %q, want %q", te.Checkpoint, want)
+	}
+	if !strings.Contains(te.Repro(), "-resume "+want) {
+		t.Errorf("repro %q lacks -resume %s", te.Repro(), want)
+	}
+}
+
+// asTrialError unwraps err to a TrialError (errors.As through the join).
+func asTrialError(err error, te **mmv2v.TrialError) bool {
+	type unwrapper interface{ Unwrap() []error }
+	if t, ok := err.(*mmv2v.TrialError); ok {
+		*te = t
+		return true
+	}
+	if u, ok := err.(unwrapper); ok {
+		for _, e := range u.Unwrap() {
+			if asTrialError(e, te) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestResumeCorruptedSnapshotNeverPanics feeds systematically damaged
+// snapshot files — truncations, raw bit flips, and bit flips with the frame
+// CRC re-stamped so the damage reaches the state decoders — through Resume.
+// Every variant must produce a structured error or a clean result, never a
+// panic. The corpus is deterministic, so a pass here is stable.
+func TestResumeCorruptedSnapshotNeverPanics(t *testing.T) {
+	cfg := mmv2v.DefaultScenario(5, 13) // sparse road: small snapshot, fast re-runs
+	cfg.WindowSec = 0.2
+	cfg.Windows = 2
+	cfg.Checkpoint = t.TempDir()
+	if _, err := mmv2v.RunTrials(cfg, mmv2v.MMV2V(mmv2v.DefaultParams()), 1); err != nil {
+		t.Fatal(err)
+	}
+	path := mmv2v.CheckpointPath(cfg.Checkpoint, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	try := func(label string, b []byte) {
+		t.Helper()
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("%s: resume panicked: %v", label, p)
+			}
+		}()
+		mut := filepath.Join(dir, "mut.ckpt")
+		if err := os.WriteFile(mut, b, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		// Either outcome is fine; the contract under corruption is only
+		// "structured error or success, never a panic".
+		_, _ = mmv2v.Resume(cfg, mmv2v.MMV2V(mmv2v.DefaultParams()), mut)
+	}
+
+	step := len(data)/97 + 1
+	if testing.Short() {
+		step = len(data)/29 + 1
+	}
+	for n := 0; n < len(data); n += step {
+		try(fmt.Sprintf("truncate to %d", n), data[:n])
+	}
+	for off := 0; off < len(data); off += step {
+		b := append([]byte(nil), data...)
+		b[off] ^= 1 << (off % 8)
+		try(fmt.Sprintf("flip byte %d", off), b)
+	}
+	// Re-stamp the payload CRC (frame layout: 8 magic, 4 version, 8 length,
+	// 4 CRC, payload) so flips get past the container and into the decoders.
+	crcTable := crc32.MakeTable(crc32.Castagnoli)
+	for off := 24; off < len(data); off += step {
+		b := append([]byte(nil), data...)
+		b[off] ^= 1 << (off % 8)
+		binary.LittleEndian.PutUint32(b[20:24], crc32.Checksum(b[24:], crcTable))
+		try(fmt.Sprintf("flip byte %d with CRC re-stamped", off), b)
+	}
+}
+
+// TestRunLogRoundTrip pins the replay contract end to end: a logged run
+// re-renders byte-identically, verifies against live re-execution at
+// several worker counts, detects tampering, and survives torn tails.
+func TestRunLogRoundTrip(t *testing.T) {
+	cfg := persistScenario(31)
+	h := mmv2v.RunLogHeader{
+		Protocol: "mmv2v", K: 3, M: 40, C: 7,
+		DensityVPL: 10, Seed: 31, Trials: 2,
+		WindowSec: cfg.WindowSec, Windows: cfg.Windows, DemandBits: cfg.DemandBits,
+	}
+	path := filepath.Join(t.TempDir(), "run.log")
+	live, err := mmv2v.RunTrialsLogged(cfg, mmv2v.MMV2V(mmv2v.DefaultParams()), 2, h, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := mmv2v.ReadRunLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "replayed vs live", live, rl.Result())
+	for _, workers := range []int{1, 4} {
+		div, err := rl.Verify(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if div != nil {
+			t.Fatalf("verify (workers=%d) diverged: %s", workers, div)
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn tail (the end record loses bytes) still replays the complete
+	// records before it.
+	torn := filepath.Join(t.TempDir(), "torn.log")
+	if err := os.WriteFile(torn, data[:len(data)-5], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	trl, err := mmv2v.ReadRunLog(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trl.Truncated {
+		t.Error("torn log not flagged truncated")
+	}
+	requireSameResult(t, "torn-tail replay", live, trl.Result())
+
+	// An interior bit flip is real corruption: a structured error, never a
+	// panic, and never a silently different table.
+	bad := filepath.Join(t.TempDir(), "bad.log")
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x10
+	if err := os.WriteFile(bad, flipped, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mmv2v.ReadRunLog(bad); err == nil {
+		t.Error("bit-flipped log decoded cleanly")
+	}
+
+	// A forged window record (contents and digest rewritten consistently,
+	// record CRC re-stamped) parses — and -verify catches it as the first
+	// divergence against live re-execution.
+	forged := forgeWindowRecord(t, data)
+	forgedPath := filepath.Join(t.TempDir(), "forged.log")
+	if err := os.WriteFile(forgedPath, forged, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	frl, err := mmv2v.ReadRunLog(forgedPath)
+	if err != nil {
+		t.Fatalf("forged log should parse (tampering is semantically valid): %v", err)
+	}
+	div, err := frl.Verify(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div == nil {
+		t.Fatal("verify missed the forged window")
+	}
+	if div.Trial != 0 || div.Window != 0 {
+		t.Errorf("first divergence at (%d, %d), want (0, 0)", div.Trial, div.Window)
+	}
+}
+
+// forgeWindowRecord rewrites the first window record of a run log: it
+// perturbs the window's AvgNeighbors, recomputes the digest so the log
+// stays self-consistent, and re-stamps the record CRC.
+func forgeWindowRecord(t *testing.T, data []byte) []byte {
+	t.Helper()
+	recs, truncated, err := persist.ReadLog(data)
+	if err != nil || truncated {
+		t.Fatalf("ReadLog: %v (truncated=%v)", err, truncated)
+	}
+	log := persist.NewLog()
+	forgedOne := false
+	for _, rec := range recs {
+		payload := append([]byte(nil), rec.Payload...)
+		if rec.Type == 2 && !forgedOne { // first window record
+			d := persist.NewDecoder(payload)
+			tr := d.Int()
+			_ = d.U64()
+			w := sim.DecodeWindowResult(d)
+			if err := d.Err(); err != nil {
+				t.Fatal(err)
+			}
+			w.AvgNeighbors++
+			var e persist.Encoder
+			e.Int(tr)
+			e.U64(sim.WindowDigest(tr, w))
+			sim.EncodeWindowResult(&e, w)
+			payload = e.Bytes()
+			forgedOne = true
+		}
+		log = persist.AppendRecord(log, rec.Type, payload)
+	}
+	if !forgedOne {
+		t.Fatal("no window record found to forge")
+	}
+	return log
+}
+
+// TestGoldenRunLogReplays pins the committed golden run log: the current
+// build must re-render it and re-execute it digest-identically — the CI
+// replay gate against silent determinism regressions. Regenerate with
+//
+//	go run ./cmd/mmv2v-sim -density 10 -seed 7 -trials 2 -seconds 0.2 \
+//	    -windows 2 -runlog testdata/golden.runlog
+//
+// only when a change intentionally alters simulation results.
+func TestGoldenRunLogReplays(t *testing.T) {
+	rl, err := mmv2v.ReadRunLog(filepath.Join("testdata", "golden.runlog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Truncated {
+		t.Error("golden log has a torn tail")
+	}
+	res := rl.Result()
+	if res.Trials != rl.Header.Trials {
+		t.Errorf("golden log replays %d trials, header declares %d", res.Trials, rl.Header.Trials)
+	}
+	div, err := rl.Verify(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div != nil {
+		t.Fatalf("this build diverges from the golden run log: %s", div)
+	}
+}
+
+// TestRunLogHeaderMustReconstructScenario pins that RunTrialsLogged refuses
+// to write a log that could not replay the run it records.
+func TestRunLogHeaderMustReconstructScenario(t *testing.T) {
+	cfg := persistScenario(31)
+	h := mmv2v.RunLogHeader{
+		Protocol: "mmv2v", K: 3, M: 40, C: 7,
+		DensityVPL: 12, // does not match cfg's density 10
+		Seed:       31, Trials: 1,
+		WindowSec: cfg.WindowSec, Windows: cfg.Windows, DemandBits: cfg.DemandBits,
+	}
+	path := filepath.Join(t.TempDir(), "run.log")
+	if _, err := mmv2v.RunTrialsLogged(cfg, mmv2v.MMV2V(mmv2v.DefaultParams()), 1, h, path); err == nil {
+		t.Fatal("mismatched header accepted")
+	} else if !strings.Contains(err.Error(), "reconstruct") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("log file written despite header mismatch")
+	}
+}
