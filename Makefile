@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint unitcheck test test-short race bench bench-json profile experiments examples faults city replay fuzz-smoke clean
+.PHONY: all build vet lint unitcheck persistcheck sharecheck test test-short race bench bench-json bench-gate profile experiments examples faults city replay fuzz-smoke clean
 
 all: build vet lint test
 
@@ -22,6 +22,15 @@ lint:
 unitcheck:
 	$(GO) run ./cmd/mmv2v-lint -passes unitcheck ./...
 
+# Checkpoint-codec field-coverage pass alone (fast iteration while editing
+# SaveState/LoadState codecs; DESIGN.md §8 ↔ §11).
+persistcheck:
+	$(GO) run ./cmd/mmv2v-lint -passes persistcheck ./...
+
+# Shared-mutable-state pass alone (fast iteration on goroutine-facing code).
+sharecheck:
+	$(GO) run ./cmd/mmv2v-lint -passes sharecheck ./...
+
 test:
 	$(GO) test ./...
 
@@ -39,6 +48,13 @@ bench:
 # Snapshot a full benchmark run as structured JSON for archiving/diffing.
 bench-json:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/mmv2v-bench2json > BENCH_$$(date +%F).json
+
+# Regression gate: re-run the benchmarks and fail on any ns/op slowdown of
+# more than 15% against the committed baseline snapshot (advisory in CI —
+# shared runners are noisy).
+bench-gate:
+	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/mmv2v-bench2json \
+		-baseline BENCH_2026-08-08.json -threshold 0.15 > /dev/null
 
 # CPU + heap profiles of a representative pooled run with statistics on;
 # inspect with `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.

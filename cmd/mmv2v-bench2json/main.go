@@ -5,12 +5,19 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | mmv2v-bench2json -date 2026-08-06
+//	go test -bench=. ./... | mmv2v-bench2json -baseline BENCH_2026-08-08.json -threshold 0.15
 //
 // The converter reads stdin, groups benchmark lines under the pkg: headers
 // `go test` prints per package, splits the -N GOMAXPROCS suffix off each
 // name, and carries every value/unit pair (ns/op, B/op, allocs/op, custom
 // units) into a metrics map. Non-benchmark lines (PASS, ok, failures) are
 // ignored, so piping a full `make bench` run through it just works.
+//
+// With -baseline, the converted run doubles as a regression gate: each
+// fresh (pkg, name) ns/op is compared against the committed baseline
+// report, and the command exits nonzero when any pinned hot path slowed by
+// more than the -threshold fraction. Baseline entries missing from the
+// fresh run are skipped — partial bench runs gate only what they measured.
 package main
 
 import (
@@ -43,22 +50,78 @@ type Report struct {
 
 func main() {
 	date := flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the report")
+	baseline := flag.String("baseline", "", "baseline report JSON to gate ns/op against; exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.15, "allowed fractional ns/op slowdown over the baseline")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *date); err != nil {
+	rep, err := run(os.Stdin, os.Stdout, *date)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mmv2v-bench2json:", err)
+		os.Exit(1)
+	}
+	if *baseline == "" {
+		return
+	}
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmv2v-bench2json:", err)
+		os.Exit(1)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "mmv2v-bench2json: %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+	regressions, compared := compare(&base, rep, *threshold)
+	fmt.Fprintf(os.Stderr, "mmv2v-bench2json: compared %d benchmark(s) against %s (threshold %+.0f%%)\n",
+		compared, *baseline, *threshold*100)
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "mmv2v-bench2json: REGRESSION:", r)
+	}
+	if len(regressions) > 0 {
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, out io.Writer, date string) error {
+func run(in io.Reader, out io.Writer, date string) (*Report, error) {
 	rep, err := parse(in)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rep.Date = date
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return rep, enc.Encode(rep)
+}
+
+// compare gates the fresh run against a baseline report: every baseline
+// (pkg, name) whose ns/op the fresh run also measured must not be slower by
+// more than the threshold fraction. It returns one message per regression
+// and the number of benchmarks compared; baseline entries the fresh run did
+// not exercise are skipped.
+func compare(base, fresh *Report, threshold float64) (regressions []string, compared int) {
+	measured := make(map[string]float64, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok {
+			measured[b.Pkg+" "+b.Name] = ns
+		}
+	}
+	for _, b := range base.Benchmarks {
+		was, ok := b.Metrics["ns/op"]
+		if !ok || was <= 0 {
+			continue
+		}
+		now, ok := measured[b.Pkg+" "+b.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		if now > was*(1+threshold) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s %s: %.0f ns/op -> %.0f ns/op (%+.1f%%, allowed %+.0f%%)",
+				b.Pkg, b.Name, was, now, (now/was-1)*100, threshold*100))
+		}
+	}
+	return regressions, compared
 }
 
 // envKeys are the `key: value` header lines `go test -bench` prints; pkg is

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -61,12 +64,75 @@ func TestParseMalformedLine(t *testing.T) {
 
 func TestRunEmitsJSON(t *testing.T) {
 	var out strings.Builder
-	if err := run(strings.NewReader(sample), &out, "2026-08-06"); err != nil {
+	if _, err := run(strings.NewReader(sample), &out, "2026-08-06"); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{`"date": "2026-08-06"`, `"name": "Refresh15vpl"`, `"ns/op": 11859939`} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("JSON output missing %s:\n%s", want, out.String())
 		}
+	}
+}
+
+// bench builds a one-metric benchmark entry for gate tests.
+func bench(pkg, name string, ns float64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+// TestCompareGate covers the baseline regression gate: slowdowns beyond the
+// threshold regress, slowdowns within it pass, speedups pass, and baseline
+// entries the fresh run did not measure are skipped rather than failed.
+func TestCompareGate(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{
+		bench("mmv2v", "Fig6CapacityVsSlots", 1000),
+		bench("mmv2v", "Theorem2Validation", 1000),
+		bench("mmv2v/internal/world", "Refresh15vpl", 1000),
+		bench("mmv2v", "Ablation", 1000),
+	}}
+	fresh := &Report{Benchmarks: []Benchmark{
+		bench("mmv2v", "Fig6CapacityVsSlots", 1300),        // +30%: regression
+		bench("mmv2v", "Theorem2Validation", 1100),         // +10%: within threshold
+		bench("mmv2v/internal/world", "Refresh15vpl", 700), // speedup
+		// Ablation not measured this run: skipped.
+		bench("mmv2v", "BrandNew", 9999), // not in baseline: ignored
+	}}
+	regressions, compared := compare(base, fresh, 0.15)
+	if compared != 3 {
+		t.Errorf("compared = %d, want 3 (Ablation skipped)", compared)
+	}
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "Fig6CapacityVsSlots") {
+		t.Errorf("regressions = %v, want exactly the +30%% Fig6 entry", regressions)
+	}
+	if !strings.Contains(regressions[0], "+30.0%") {
+		t.Errorf("regression message %q missing the slowdown percentage", regressions[0])
+	}
+
+	if regs, _ := compare(base, fresh, 0.5); len(regs) != 0 {
+		t.Errorf("50%% threshold should pass a +30%% slowdown, got %v", regs)
+	}
+}
+
+// TestCompareAgainstCommittedBaseline keeps the gate wired to the real
+// committed baseline: the pinned hot paths must parse out of the repo's
+// BENCH_*.json with usable ns/op values.
+func TestCompareAgainstCommittedBaseline(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_2026-08-08.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Benchmarks) == 0 {
+		t.Fatal("committed baseline has no benchmarks")
+	}
+	// A fresh run identical to the baseline must pass at any threshold.
+	regressions, compared := compare(&base, &base, 0)
+	if len(regressions) != 0 {
+		t.Errorf("self-comparison regressed: %v", regressions)
+	}
+	if compared == 0 {
+		t.Error("self-comparison compared no benchmarks; ns/op metrics missing from baseline")
 	}
 }

@@ -1,5 +1,5 @@
 // Command mmv2v-lint enforces the repo's determinism and simulation-hygiene
-// contract (DESIGN.md §8) with six stdlib-only static-analysis passes.
+// contract (DESIGN.md §8) with nine stdlib-only static-analysis passes.
 //
 // Usage:
 //
@@ -57,6 +57,22 @@ func main() {
 	var opts lint.Options
 	if *passes != "" {
 		opts.Passes = strings.Split(*passes, ",")
+		// Reject unknown pass names before the (slow) whole-module load, so
+		// a typo fails in milliseconds with the valid names in hand.
+		known := make(map[string]bool)
+		var names []string
+		for _, p := range lint.Passes() {
+			known[p.Name] = true
+			names = append(names, p.Name)
+		}
+		for _, n := range opts.Passes {
+			if !known[n] {
+				fmt.Fprintf(os.Stderr, "mmv2v-lint: unknown pass %q\nvalid passes: %s\n",
+					n, strings.Join(names, ", "))
+				flag.Usage()
+				os.Exit(2)
+			}
+		}
 	}
 	for _, arg := range flag.Args() {
 		opts.Dirs = append(opts.Dirs, normalizePattern(arg))

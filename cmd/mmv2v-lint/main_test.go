@@ -47,19 +47,38 @@ func fixture(parts ...string) string {
 
 // TestJSONGolden pins the -json schema byte-for-byte: an array of findings
 // with pass/msg/file/line/col, root-relative slash paths, sorted by
-// position, exit code 1 because findings exist.
+// position, exit code 1 because findings exist. The sharecheck and
+// persistcheck rows pin the interprocedural suite's messages (directive
+// suppression keeps the justified sites out of the arrays), and the
+// wallclock_transitive rows pin the taint witness chains — rerun twice to
+// hold run-to-run byte stability.
 func TestJSONGolden(t *testing.T) {
 	bin := buildLint(t)
-	stdout, _, code := runLint(t, bin, "-C", fixture("errdrop"), "-passes", "errdrop", "-json", "./...")
-	if code != 1 {
-		t.Fatalf("exit code = %d, want 1 (findings present)", code)
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"errdrop.json", []string{"-C", fixture("errdrop"), "-passes", "errdrop", "-json", "./..."}},
+		{"sharecheck.json", []string{"-C", fixture("sharecheck"), "-passes", "sharecheck", "-json", "./..."}},
+		{"persistcheck.json", []string{"-C", fixture("persistcheck"), "-passes", "persistcheck", "-json", "./..."}},
+		{"wallclock_transitive.json", []string{"-C", fixture("wallclock"), "-passes", "wallclock", "-json", "./internal/caller"}},
 	}
-	golden, err := os.ReadFile(filepath.Join("testdata", "errdrop.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if stdout != string(golden) {
-		t.Errorf("-json output drifted from testdata/errdrop.json\n got:\n%s\nwant:\n%s", stdout, golden)
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			golden, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for run := 0; run < 2; run++ {
+				stdout, _, code := runLint(t, bin, tc.args...)
+				if code != 1 {
+					t.Fatalf("run %d: exit code = %d, want 1 (findings present)", run, code)
+				}
+				if stdout != string(golden) {
+					t.Errorf("run %d: -json output drifted from testdata/%s\n got:\n%s\nwant:\n%s", run, tc.golden, stdout, golden)
+				}
+			}
+		})
 	}
 }
 
@@ -102,5 +121,27 @@ func TestExitCodes(t *testing.T) {
 				t.Errorf("exit 2 with empty stderr; load/usage errors must be reported")
 			}
 		})
+	}
+}
+
+// TestUnknownPassUsage pins the unknown-pass contract beyond the exit code:
+// the name is rejected before any load work, stderr names the offender and
+// every valid pass, and the usage listing follows.
+func TestUnknownPassUsage(t *testing.T) {
+	bin := buildLint(t)
+	_, stderr, code := runLint(t, bin, "-C", fixture("errdrop"), "-passes", "errdrop,nope", "./...")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	for _, want := range []string{
+		`unknown pass "nope"`,
+		"valid passes:",
+		"usage: mmv2v-lint",
+		"maprange", "wallclock", "globalrand", "goroutine",
+		"floateq", "errdrop", "unitcheck", "persistcheck", "sharecheck",
+	} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr)
+		}
 	}
 }

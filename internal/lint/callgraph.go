@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural substrate of the analyzer (DESIGN.md §8):
+// a lightweight, stdlib-only call-graph and struct-model layer built once
+// per Run over every loaded package. Passes that reason beyond a single
+// expression — persistcheck's codec field coverage, and the transitive
+// wallclock/globalrand taint — consume it through Package.Mod.
+//
+// The model is deliberately static and conservative:
+//
+//   - call edges are recorded only for direct references to named module
+//     functions and methods (idents and selector expressions resolving to a
+//     *types.Func declared in this module). A bare reference counts as an
+//     edge even without a call — a function value that escapes is assumed
+//     to be invoked eventually;
+//   - interface method calls resolve to the interface's method object,
+//     which has no body here, so dynamic dispatch conservatively ends the
+//     walk (every concrete implementation is still analyzed at its own
+//     declaration);
+//   - function literals are attributed to their enclosing declaration:
+//     anything a closure does, its declarer is considered to do.
+//
+// Package-level var initializer expressions run outside any declared
+// function and are not modeled; the repo's determinism passes govern
+// executable simulation paths, which all live in declared functions.
+
+// callSite is one static reference from a function body to a module
+// function or method.
+type callSite struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// directUse is one direct use of a forbidden stdlib function (time.Now,
+// math/rand.Intn, ...) inside a function body.
+type directUse struct {
+	name string // qualified, e.g. "time.Now"
+	pos  token.Pos
+}
+
+// funcInfo is the per-function row of the module call graph.
+type funcInfo struct {
+	obj  *types.Func
+	pkg  *Package
+	decl *ast.FuncDecl
+
+	// calls lists static references to module functions in source order.
+	calls []callSite
+	// wallclock and rand list direct uses of wall-clock and math/rand
+	// functions in source order.
+	wallclock []directUse
+	rand      []directUse
+	// fieldRefs is the set of struct fields this function's body mentions —
+	// selections, composite-literal keys — reads and writes alike.
+	fieldRefs map[*types.Var]bool
+}
+
+// Module is the whole-module analysis index shared by every package of one
+// Run. Maps are used as sets and lookup tables only; every iteration that
+// could influence output order goes through the sorted funcs slice.
+type Module struct {
+	pkgs  []*Package
+	funcs map[*types.Func]*funcInfo
+	// order lists every declared function sorted by source position, the
+	// canonical iteration order for deterministic taint propagation.
+	order []*funcInfo
+
+	wallclockTaint map[*types.Func]string // func -> witness chain
+	randTaint      map[*types.Func]string
+}
+
+// buildModule indexes every declared function of the loaded packages and
+// links each package back to the shared module model.
+func buildModule(pkgs []*Package) *Module {
+	m := &Module{pkgs: pkgs, funcs: make(map[*types.Func]*funcInfo)}
+	for _, p := range pkgs {
+		p.Mod = m
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &funcInfo{obj: obj, pkg: p, decl: fd, fieldRefs: make(map[*types.Var]bool)}
+				collectBody(p, fd, fi)
+				m.funcs[obj] = fi
+				m.order = append(m.order, fi)
+			}
+		}
+	}
+	sort.Slice(m.order, func(i, j int) bool {
+		a, b := m.order[i].pkg.relPos(m.order[i].decl.Pos()), m.order[j].pkg.relPos(m.order[j].decl.Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	m.wallclockTaint = m.propagate(
+		func(fi *funcInfo) []directUse { return fi.wallclock },
+		func(fi *funcInfo) bool { return false },
+	)
+	// internal/xrand is the sanctioned randomness wrapper: its direct
+	// math/rand use is the boundary itself, so taint neither originates in
+	// nor propagates through it. Callers consume split streams through its
+	// API; everything else wrapping math/rand is laundering.
+	m.randTaint = m.propagate(
+		func(fi *funcInfo) []directUse { return fi.rand },
+		func(fi *funcInfo) bool { return fi.pkg.Rel == "internal/xrand" },
+	)
+	return m
+}
+
+// collectBody walks one declared function (closures included) and records
+// call edges, direct forbidden-stdlib uses, and struct-field references.
+func collectBody(p *Package, fd *ast.FuncDecl, fi *funcInfo) {
+	record := func(id *ast.Ident) {
+		obj := p.Info.Uses[id]
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				fi.fieldRefs[v] = true // composite-literal key
+			}
+			return
+		}
+		if fn.Pkg() == nil {
+			return
+		}
+		switch path := fn.Pkg().Path(); {
+		case path == "time" && wallClockFuncs[fn.Name()]:
+			fi.wallclock = append(fi.wallclock, directUse{"time." + fn.Name(), id.Pos()})
+		case path == "math/rand" || path == "math/rand/v2":
+			fi.rand = append(fi.rand, directUse{path + "." + fn.Name(), id.Pos()})
+		case moduleInternal(p, path):
+			fi.calls = append(fi.calls, callSite{fn, id.Pos()})
+		}
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.Ident:
+			record(e)
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					fi.fieldRefs[v] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// moduleInternal reports whether an import path belongs to the module under
+// analysis.
+func moduleInternal(p *Package, path string) bool {
+	module := p.Path
+	if p.Rel != "" {
+		module = strings.TrimSuffix(p.Path, "/"+p.Rel)
+	}
+	return path == module || strings.HasPrefix(path, module+"/")
+}
+
+// propagate computes the transitive taint relation for one source kind: a
+// function is tainted when it directly uses a forbidden stdlib function or
+// statically references a tainted module function. sealed marks functions
+// that are a sanctioned boundary: they neither seed nor forward taint.
+//
+// The result maps each tainted function to a human-readable witness chain
+// ("NowSec → time.Now"). Propagation is a breadth-first fixpoint over the
+// position-sorted function order, so chains — and therefore finding
+// messages — are identical run to run.
+func (m *Module) propagate(sources func(*funcInfo) []directUse, sealed func(*funcInfo) bool) map[*types.Func]string {
+	taint := make(map[*types.Func]string, 8)
+	var frontier []*funcInfo
+	for _, fi := range m.order {
+		if sealed(fi) {
+			continue
+		}
+		if uses := sources(fi); len(uses) > 0 {
+			taint[fi.obj] = fi.obj.Name() + " → " + uses[0].name
+			frontier = append(frontier, fi)
+		}
+	}
+	for len(frontier) > 0 {
+		var next []*funcInfo
+		for _, fi := range m.order {
+			if _, done := taint[fi.obj]; done || sealed(fi) {
+				continue
+			}
+			for _, cs := range fi.calls {
+				chain, tainted := taint[cs.callee]
+				if !tainted {
+					continue
+				}
+				taint[fi.obj] = fi.obj.Name() + " → " + chain
+				next = append(next, fi)
+				break
+			}
+		}
+		frontier = next
+	}
+	return taint
+}
+
+// closure returns the functions statically reachable from root (inclusive)
+// through module call edges, in deterministic breadth-first order.
+func (m *Module) closure(root *types.Func) []*types.Func {
+	seen := map[*types.Func]bool{root: true}
+	out := []*types.Func{root}
+	for i := 0; i < len(out); i++ {
+		fi, ok := m.funcs[out[i]]
+		if !ok {
+			continue
+		}
+		for _, cs := range fi.calls {
+			if !seen[cs.callee] {
+				seen[cs.callee] = true
+				out = append(out, cs.callee)
+			}
+		}
+	}
+	return out
+}
+
+// fieldRefsOf unions the field-reference sets of every function in the
+// closure of root. The result is consumed by membership lookups only.
+func (m *Module) fieldRefsOf(root *types.Func) map[*types.Var]bool {
+	refs := make(map[*types.Var]bool)
+	for _, fn := range m.closure(root) {
+		if fi, ok := m.funcs[fn]; ok {
+			//mmv2v:sorted pure set union; membership-only consumer
+			for v := range fi.fieldRefs {
+				refs[v] = true
+			}
+		}
+	}
+	return refs
+}

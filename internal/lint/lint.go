@@ -57,6 +57,7 @@ func Run(root string, opts Options) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
+	buildModule(pkgs)
 	passes, err := selectPasses(opts.Passes)
 	if err != nil {
 		return nil, err

@@ -23,8 +23,15 @@ func TestPassesOnFixtures(t *testing.T) {
 			},
 		},
 		{
+			// Lines 15 and 20 are the transitive upgrade: call sites of
+			// helpers that reach time.Now through the cmd/ tree
+			// (clockutil.NowSec) or another internal package
+			// (clocked.Stamp); the untainted clocked.Scale call stays
+			// clean.
 			pass: "wallclock",
 			want: []string{
+				"internal/caller/caller.go:15: wallclock",
+				"internal/caller/caller.go:20: wallclock",
 				"internal/clocked/clocked.go:10: wallclock",
 				"internal/clocked/clocked.go:11: wallclock",
 				"internal/clocked/clocked.go:16: wallclock",
@@ -32,8 +39,12 @@ func TestPassesOnFixtures(t *testing.T) {
 			},
 		},
 		{
+			// Line 14 is the transitive upgrade: the call site of a helper
+			// wrapping math/rand; consuming the sealed internal/xrand
+			// boundary (consumer.Split) stays clean.
 			pass: "globalrand",
 			want: []string{
+				"internal/consumer/consumer.go:14: globalrand",
 				"internal/seeded/seeded.go:10: globalrand",
 				"internal/seeded/seeded.go:16: globalrand",
 				"internal/seeded/seeded.go:16: globalrand",
@@ -73,6 +84,35 @@ func TestPassesOnFixtures(t *testing.T) {
 				"pkg/pkg.go:67: unitcheck",
 				"pkg/pkg.go:86: unitcheck",
 				"pkg/pkg.go:91: unitcheck",
+			},
+		},
+		{
+			// 33: uncovered field; 35: //mmv2v:derived without justification
+			// does not suppress; 49: encoded but never restored; 68: no
+			// load path at all. Counter (helper save + justified derived)
+			// and ctor.Session (free-function restore, composite-literal
+			// key coverage) stay clean.
+			pass: "persistcheck",
+			want: []string{
+				"internal/state/state.go:33: persistcheck",
+				"internal/state/state.go:35: persistcheck",
+				"internal/state/state.go:49: persistcheck",
+				"internal/state/state.go:68: persistcheck",
+			},
+		},
+		{
+			// global.go: package-level writes outside init (init and the
+			// justified knob stay clean); spawn.go:13: a captured-slice
+			// write plus two loop-variable captures on one closure line
+			// (FanSafe's argument-passing and the fixture's internal/sim
+			// slot merge stay clean).
+			pass: "sharecheck",
+			want: []string{
+				"internal/global/global.go:14: sharecheck",
+				"internal/global/global.go:24: sharecheck",
+				"internal/spawn/spawn.go:13: sharecheck",
+				"internal/spawn/spawn.go:13: sharecheck",
+				"internal/spawn/spawn.go:13: sharecheck",
 			},
 		},
 	}
@@ -202,6 +242,126 @@ func TestRepoIsClean(t *testing.T) {
 			lines = append(lines, f.String())
 		}
 		t.Errorf("determinism contract violated:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// copyModule copies a module's go.mod and .go files into dst, preserving
+// directory structure and skipping VCS, hidden, and testdata trees.
+func copyModule(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if rel != "." && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		if !strings.HasSuffix(path, ".go") && d.Name() != "go.mod" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// injectField inserts a field declaration right after the opening brace of
+// the named struct type in file.
+func injectField(t *testing.T, file, typeName, fieldDecl string) {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := "type " + typeName + " struct {"
+	if !strings.Contains(string(data), marker) {
+		t.Fatalf("%s: no %q", file, marker)
+	}
+	mutated := strings.Replace(string(data), marker, marker+"\n\t"+fieldDecl, 1)
+	if err := os.WriteFile(file, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistCheckMutation is the codec-drift mutation test: adding a field
+// to a covered fixture struct must produce a persistcheck finding, and the
+// same field annotated //mmv2v:derived with a justification must not.
+func TestPersistCheckMutation(t *testing.T) {
+	cases := []struct {
+		name     string
+		field    string
+		findings int
+	}{
+		{"uncovered-field", "ghost int", 1},
+		{"derived-annotation", "ghost int //mmv2v:derived rebuilt lazily on first use", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tmp := t.TempDir()
+			copyModule(t, filepath.Join("testdata", "persistcheck"), tmp)
+			target := filepath.Join(tmp, "internal", "ctor", "ctor.go")
+			injectField(t, target, "Session", tc.field)
+			findings, err := Run(tmp, Options{Passes: []string{"persistcheck"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var hits []string
+			for _, f := range findings {
+				if strings.Contains(f.Msg, "ghost") {
+					hits = append(hits, f.String())
+				}
+			}
+			if len(hits) != tc.findings {
+				t.Errorf("ghost-field findings = %v, want %d", hits, tc.findings)
+			}
+		})
+	}
+}
+
+// TestRepoCodecDriftIsCaught is the deliberate-injection meta-test (the
+// PR 5 laundered-dB pattern): a copy of the real repository with one
+// unannotated field added to a codec-bearing struct must fail persistcheck,
+// proving the pass — and therefore TestRepoIsClean and make lint — would
+// catch real add-a-field drift in internal/medium's checkpoint codec.
+func TestRepoCodecDriftIsCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	copyModule(t, root, tmp)
+	injectField(t, filepath.Join(tmp, "internal", "medium", "medium.go"),
+		"Medium", "driftDemo uint64")
+	findings, err := Run(tmp, Options{Passes: []string{"persistcheck"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit bool
+	for _, f := range findings {
+		if strings.Contains(f.Msg, "driftDemo") {
+			hit = true
+		} else {
+			t.Errorf("unexpected extra finding: %s", f)
+		}
+	}
+	if !hit {
+		t.Error("injected uncovered field Medium.driftDemo produced no persistcheck finding")
 	}
 }
 

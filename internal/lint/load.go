@@ -29,6 +29,10 @@ type Package struct {
 	Info  *types.Info
 	Types *types.Package
 
+	// Mod is the whole-module call-graph and struct-model index shared by
+	// every package of one Run (see callgraph.go).
+	Mod *Module
+
 	root       string
 	directives map[directiveKey]bool
 }
@@ -297,7 +301,9 @@ func topoSort(pkgs []*parsedPkg, byPath map[string]*parsedPkg) ([]*parsedPkg, er
 }
 
 // collectDirectives records every //mmv2v:<name> comment line in the
-// package's files.
+// package's files. A directive only suppresses findings when it carries a
+// non-empty one-line justification after the name; a bare directive is
+// recorded as false and leaves the finding in place.
 func collectDirectives(p *Package) {
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
@@ -306,9 +312,12 @@ func collectDirectives(p *Package) {
 				if !ok {
 					continue
 				}
-				name := rest
-				if i := strings.IndexAny(rest, " \t"); i >= 0 {
-					name = rest[:i]
+				name, just, _ := strings.Cut(rest, " ")
+				if i := strings.IndexAny(name, "\t"); i >= 0 {
+					name, just = name[:i], name[i+1:]
+				}
+				if strings.TrimSpace(just) == "" {
+					continue
 				}
 				at := p.Fset.Position(c.Pos())
 				p.directives[directiveKey{name, at.Filename, at.Line}] = true

@@ -54,6 +54,16 @@ func Passes() []Pass {
 			Doc:  "physical-units analysis over the internal/units types: no laundering conversions, raw literals into unit parameters, or dimensionally wrong same-unit arithmetic without //mmv2v:unitless",
 			run:  runUnitCheck,
 		},
+		{
+			Name: "persistcheck",
+			Doc:  "checkpoint-codec field coverage: every field of a SaveState type is encoded or //mmv2v:derived, and every encoded field is restored by the load path",
+			run:  runPersistCheck,
+		},
+		{
+			Name: "sharecheck",
+			Doc:  "shared mutable state across the goroutine boundary: package-level var writes outside init, loop-variable capture in go closures, and unowned writes from goroutines, unless //mmv2v:shared justifies them",
+			run:  runShareCheck,
+		},
 	}
 }
 
@@ -117,7 +127,11 @@ var wallClockFuncs = map[string]bool{
 }
 
 // runWallClock flags wall-clock reads and timer construction outside cmd/,
-// where they are allowed for progress printing only.
+// where they are allowed for progress printing only. The check is
+// transitive over the module call graph: calling a helper that reaches
+// time.Now — even one declared in the exempt cmd/ tree — is flagged at the
+// call site with the witness chain, so the exemption cannot launder clock
+// reads into simulation code.
 func runWallClock(p *Package) []Finding {
 	if underCmd(p) {
 		return nil
@@ -135,12 +149,45 @@ func runWallClock(p *Package) []Finding {
 		out = append(out, finding(p, id.Pos(), "wallclock",
 			fmt.Sprintf("time.%s reads the wall clock; simulation time comes only from internal/des (cmd/ progress printing is exempt)", fn.Name())))
 	})
+	out = append(out, taintedCalls(p, "wallclock",
+		func(m *Module) map[*types.Func]string { return m.wallclockTaint },
+		"reaches the wall clock")...)
+	return out
+}
+
+// taintedCalls emits one finding per call site in p whose callee carries
+// taint of the given kind, annotated with the propagation witness chain.
+// Call sites are visited in the module's position-sorted function order, so
+// output is stable run to run.
+func taintedCalls(p *Package, pass string, taintOf func(*Module) map[*types.Func]string, verb string) []Finding {
+	if p.Mod == nil {
+		return nil
+	}
+	taint := taintOf(p.Mod)
+	var out []Finding
+	for _, fi := range p.Mod.order {
+		if fi.pkg != p {
+			continue
+		}
+		for _, cs := range fi.calls {
+			chain, tainted := taint[cs.callee]
+			if !tainted {
+				continue
+			}
+			out = append(out, finding(p, cs.pos, pass,
+				fmt.Sprintf("call to %s transitively %s (%s)", cs.callee.Name(), verb, chain)))
+		}
+	}
 	return out
 }
 
 // runGlobalRand flags any use of a math/rand function or method outside
 // internal/xrand — including rand.New and methods on a leaked *rand.Rand —
 // since all randomness must derive from per-entity xrand split streams.
+// Like wallclock, the check is transitive: calling a helper that wraps
+// math/rand is flagged at the call site. internal/xrand itself is the
+// sanctioned boundary and neither seeds nor forwards taint, so consuming
+// its split-stream API stays clean.
 func runGlobalRand(p *Package) []Finding {
 	if p.Rel == "internal/xrand" {
 		return nil
@@ -162,6 +209,9 @@ func runGlobalRand(p *Package) []Finding {
 		out = append(out, finding(p, id.Pos(), "globalrand",
 			fmt.Sprintf("%s.%s bypasses the seed discipline; derive randomness from internal/xrand split streams", path, fn.Name())))
 	})
+	out = append(out, taintedCalls(p, "globalrand",
+		func(m *Module) map[*types.Func]string { return m.randTaint },
+		"draws from math/rand")...)
 	return out
 }
 

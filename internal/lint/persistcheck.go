@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// persistcheck is the checkpoint-codec field-coverage analysis (DESIGN.md
+// §8, guarding the §11 persistence contract). The snapshot layer's
+// SaveState/LoadState codecs are hand-maintained across every stateful
+// package; the classic drift is adding a struct field without a matching
+// encode/decode, which keeps compiling, keeps passing unit tests, and only
+// surfaces weeks later as a replay-digest divergence. This pass turns that
+// drift into a lint finding at the field declaration:
+//
+//   - for every named struct type with a SaveState(*persist.Encoder)
+//     method, each field must either be referenced somewhere in SaveState's
+//     static call closure (the interprocedural part: helpers like
+//     saveVehicles or Registry.Counter count) or carry a
+//     //mmv2v:derived <justification> directive asserting it is rebuilt on
+//     restore (construction parameters, caches, statistics handles);
+//   - the type must have a restore path: a LoadState(*persist.Decoder)
+//     method, or a package-level restore function taking a *persist.Decoder
+//     and producing (or mutating) the type — the udt.Restore shape;
+//   - every field SaveState references must also be referenced in the
+//     restore path's closure, assigned or validated — a field encoded but
+//     never touched on decode is the other half of the same drift.
+//
+// The Encoder/Decoder vocabulary is matched by name — pointer to a type
+// named Encoder/Decoder declared in a package named "persist" — so fixture
+// modules exercise the pass without importing the real codec.
+
+// persistParam reports whether t is *persist.<name>.
+func persistParam(t types.Type, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == "persist"
+}
+
+// isSaveState reports whether fn has the SaveState(*persist.Encoder) shape.
+func isSaveState(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || fn.Name() != "SaveState" {
+		return false
+	}
+	return sig.Params().Len() == 1 && sig.Results().Len() == 0 &&
+		persistParam(sig.Params().At(0).Type(), "Encoder")
+}
+
+// isLoadState reports whether fn has the LoadState(*persist.Decoder) error
+// shape.
+func isLoadState(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || fn.Name() != "LoadState" {
+		return false
+	}
+	return sig.Params().Len() == 1 && sig.Results().Len() == 1 &&
+		persistParam(sig.Params().At(0).Type(), "Decoder") &&
+		types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("error").Type())
+}
+
+// mentionsType reports whether t (or *t) appears among the tuple's entries.
+func mentionsType(tuple *types.Tuple, t *types.Named) bool {
+	for i := 0; i < tuple.Len(); i++ {
+		at := tuple.At(i).Type()
+		if ptr, ok := at.(*types.Pointer); ok {
+			at = ptr.Elem()
+		}
+		if named, ok := at.(*types.Named); ok && named.Obj() == t.Obj() {
+			return true
+		}
+	}
+	return false
+}
+
+// restoreFunc finds the restore path for a type that lacks a LoadState
+// method: a package-level function in the type's package whose signature
+// takes a *persist.Decoder and mentions the type in its parameters or
+// results (the `func Restore(env, d) (*T, error)` constructor shape).
+// Functions are scanned in the module's position-sorted order, so the
+// choice is deterministic.
+func restoreFunc(m *Module, p *Package, named *types.Named) *types.Func {
+	for _, fi := range m.order {
+		if fi.pkg != p || fi.decl.Recv != nil {
+			continue
+		}
+		sig, ok := fi.obj.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		hasDecoder := false
+		for i := 0; i < sig.Params().Len(); i++ {
+			if persistParam(sig.Params().At(i).Type(), "Decoder") {
+				hasDecoder = true
+				break
+			}
+		}
+		if !hasDecoder {
+			continue
+		}
+		if mentionsType(sig.Params(), named) || mentionsType(sig.Results(), named) {
+			return fi.obj
+		}
+	}
+	return nil
+}
+
+// runPersistCheck applies the codec field-coverage checks to the types
+// declared in one package.
+func runPersistCheck(p *Package) []Finding {
+	m := p.Mod
+	if m == nil || p.Types == nil {
+		return nil
+	}
+	var out []Finding
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var save, load *types.Func
+		for i := 0; i < named.NumMethods(); i++ {
+			switch fn := named.Method(i); {
+			case isSaveState(fn):
+				save = fn
+			case isLoadState(fn):
+				load = fn
+			}
+		}
+		if save == nil {
+			continue
+		}
+		saved := m.fieldRefsOf(save)
+
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == "_" || saved[f] || p.suppressed("derived", f.Pos()) {
+				continue
+			}
+			out = append(out, finding(p, f.Pos(), "persistcheck",
+				fmt.Sprintf("field %s.%s is not referenced by SaveState; encode it, or annotate //mmv2v:derived with how restore rebuilds it", name, f.Name())))
+		}
+
+		if load == nil {
+			load = restoreFunc(m, p, named)
+		}
+		if load == nil {
+			if fi, ok := m.funcs[save]; ok {
+				out = append(out, finding(p, fi.decl.Pos(), "persistcheck",
+					fmt.Sprintf("type %s has SaveState but no LoadState method or *persist.Decoder restore function; its checkpoints cannot be restored", name)))
+			}
+			continue
+		}
+		loaded := m.fieldRefsOf(load)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !saved[f] || loaded[f] || p.suppressed("derived", f.Pos()) {
+				continue
+			}
+			out = append(out, finding(p, f.Pos(), "persistcheck",
+				fmt.Sprintf("field %s.%s is encoded by SaveState but never assigned or validated by %s; checkpointed runs resume without it", name, f.Name(), load.Name())))
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// sharecheck is the shared-mutable-state analysis (DESIGN.md §8). The
+// runner's determinism argument is an ownership argument: every trial's
+// state is owned by exactly one goroutine, results merge through
+// slot-per-trial writes, and nothing else is shared. Three shapes of code
+// silently break that discipline while still passing the expression-level
+// passes, and this pass flags each:
+//
+//  1. writes to package-level variables outside init — cross-trial state
+//     that survives between runs of a worker and couples trials through
+//     scheduler order;
+//  2. loop variables captured by a `go` closure — even with per-iteration
+//     loop variables, reading a loop variable asynchronously couples the
+//     goroutine to iteration timing; pass the value as an argument instead;
+//  3. outside internal/sim, goroutine closures writing to variables they do
+//     not own (declared outside the closure) — unsynchronized writes whose
+//     interleaving the scheduler picks.
+//
+// internal/sim is exempt from check 3 only: its slot-per-trial merge
+// (errs[i] = job(i)) is the sanctioned shared write this pass exists to
+// protect. The //mmv2v:shared <justification> directive suppresses any
+// sharecheck finding; the justification is mandatory, like every directive.
+
+// writeTarget unwraps an assignment target to its root identifier: the
+// variable being written, possibly through selectors, indexing, or pointer
+// dereference. Returns nil for targets with no identifier root (function
+// call results, blank identifier).
+func writeTarget(e ast.Expr) *ast.Ident {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			if t.Name == "_" {
+				return nil
+			}
+			return t
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// writes calls fn with the root identifier of every assignment target in n,
+// including := and += style compound assignment and ++/--. Declarations are
+// included: the callers' scope filters discard them, since a variable := can
+// declare is always local to the scope holding the statement.
+func writes(n ast.Node, fn func(id *ast.Ident)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range stmt.Lhs {
+				if id := writeTarget(lhs); id != nil {
+					fn(id)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id := writeTarget(stmt.X); id != nil {
+				fn(id)
+			}
+		}
+		return true
+	})
+}
+
+// varOf resolves an identifier to the variable it denotes, whether this
+// occurrence declares it or uses it.
+func varOf(p *Package, id *ast.Ident) *types.Var {
+	if v, ok := p.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := p.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// loopVars collects every loop variable declared in the file: range clause
+// key/value identifiers and variables declared by a for statement's init.
+func loopVars(p *Package, f *ast.File) map[*types.Var]bool {
+	vars := make(map[*types.Var]bool)
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if v, ok := p.Info.Defs[id].(*types.Var); ok {
+				vars[v] = true
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if s.Key != nil {
+				add(s.Key)
+			}
+			if s.Value != nil {
+				add(s.Value)
+			}
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					add(lhs)
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// runShareCheck applies the three shared-state checks to one package.
+func runShareCheck(p *Package) []Finding {
+	var out []Finding
+	pkgScope := p.Types.Scope()
+	seen := make(map[token.Pos]bool)
+	report := func(pos token.Pos, msg string) {
+		if seen[pos] || p.suppressed("shared", pos) {
+			return
+		}
+		seen[pos] = true
+		out = append(out, finding(p, pos, "sharecheck", msg))
+	}
+
+	for _, f := range p.Files {
+		loops := loopVars(p, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			isInit := fd.Recv == nil && fd.Name.Name == "init"
+
+			// Check 1: package-level variable writes outside init.
+			if !isInit {
+				writes(fd.Body, func(id *ast.Ident) {
+					v := varOf(p, id)
+					if v == nil || v.Parent() != pkgScope {
+						return
+					}
+					report(id.Pos(), fmt.Sprintf(
+						"write to package-level var %s outside init; cross-run mutable state breaks trial isolation — localize it or justify with //mmv2v:shared", v.Name()))
+				})
+			}
+
+			// Checks 2 and 3 inspect go-statement closures.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				// Check 2: loop-variable capture. Arguments to the call
+				// are evaluated at go-statement time and are safe; only
+				// uses inside the closure body are captures.
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if v, ok := p.Info.Uses[id].(*types.Var); ok && loops[v] {
+						report(id.Pos(), fmt.Sprintf(
+							"go closure captures loop variable %s; pass it as an argument so the goroutine owns its copy, or justify with //mmv2v:shared", v.Name()))
+					}
+					return true
+				})
+				// Check 3: writes to captured variables. internal/sim's
+				// slot-per-trial merge is the sanctioned exception;
+				// package-level targets are already check 1's findings.
+				if underSim(p) {
+					return true
+				}
+				writes(lit.Body, func(id *ast.Ident) {
+					v := varOf(p, id)
+					if v == nil || v.Parent() == pkgScope {
+						return
+					}
+					if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+						return // declared inside the closure: locally owned
+					}
+					report(id.Pos(), fmt.Sprintf(
+						"goroutine writes to captured variable %s it does not own; route the result through sim.Runner's merge or justify with //mmv2v:shared", v.Name()))
+				})
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+// Package consumer exercises the transitive globalrand upgrade: calling a
+// helper that wraps math/rand is flagged at the call site, while consuming
+// the sanctioned internal/xrand boundary stays clean (xrand is sealed —
+// neither a taint source nor a propagator).
+package consumer
+
+import (
+	"fixture/internal/seeded"
+	"fixture/internal/xrand"
+)
+
+// Roll launders a draw through a tainted helper: one finding.
+func Roll(n int) int {
+	return seeded.Draw(n)
+}
+
+// Split consumes the sanctioned wrapper: no finding.
+func Split(seed int64) float64 {
+	return xrand.Unit(xrand.New(seed))
+}

@@ -8,3 +8,9 @@ import "math/rand"
 func New(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
+
+// Unit draws from a wrapped generator: the sanctioned boundary is sealed,
+// so callers of Unit are not tainted.
+func Unit(r *rand.Rand) float64 {
+	return r.Float64()
+}

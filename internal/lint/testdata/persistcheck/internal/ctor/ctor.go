@@ -1,0 +1,27 @@
+// Package ctor exercises the restore-constructor shape: no LoadState
+// method; the package-level Restore function taking a *persist.Decoder and
+// returning the type is the load path. Fully covered, no findings — open is
+// referenced through a composite-literal key on the load side.
+package ctor
+
+import "fixture/internal/persist"
+
+// Session restores through Restore rather than a LoadState method.
+type Session struct {
+	open  bool
+	pairs int
+}
+
+func (s *Session) SaveState(e *persist.Encoder) {
+	if s.open {
+		e.U64(1)
+	}
+	e.U64(uint64(s.pairs))
+}
+
+// Restore rebuilds a Session from a checkpoint.
+func Restore(d *persist.Decoder) (*Session, error) {
+	s := &Session{open: d.U64() == 1}
+	s.pairs = int(d.U64())
+	return s, nil
+}

@@ -1,0 +1,16 @@
+// Package persist stubs the checkpoint codec vocabulary: persistcheck
+// matches Encoder/Decoder by name and package name, so fixtures need not
+// import the real codec.
+package persist
+
+// Encoder is the save-side codec stub.
+type Encoder struct{}
+
+func (e *Encoder) U64(v uint64)  {}
+func (e *Encoder) F64(v float64) {}
+
+// Decoder is the load-side codec stub.
+type Decoder struct{}
+
+func (d *Decoder) U64() uint64  { return 0 }
+func (d *Decoder) F64() float64 { return 0 }

@@ -1,0 +1,68 @@
+// Package state exercises persistcheck's codec field coverage. Expected
+// findings are pinned by line in lint_test.go.
+package state
+
+import "fixture/internal/persist"
+
+// Counter is fully covered: n encoded directly, total through a helper
+// (the interprocedural closure), cache justified as derived. No findings.
+type Counter struct {
+	n     uint64
+	total uint64
+	cache float64 //mmv2v:derived recomputed from n on first use
+}
+
+func (c *Counter) SaveState(e *persist.Encoder) {
+	e.U64(c.n)
+	c.saveTotal(e)
+}
+
+func (c *Counter) saveTotal(e *persist.Encoder) { e.U64(c.total) }
+
+func (c *Counter) LoadState(d *persist.Decoder) error {
+	c.n = d.U64()
+	c.total = d.U64()
+	return nil
+}
+
+// Drifted gained fields after its codec was written: skew is uncovered (one
+// finding), and bare's directive carries no justification, so it does not
+// suppress (one finding).
+type Drifted struct {
+	n    uint64
+	skew float64
+	//mmv2v:derived
+	bare int
+}
+
+func (m *Drifted) SaveState(e *persist.Encoder) { e.U64(m.n) }
+
+func (m *Drifted) LoadState(d *persist.Decoder) error {
+	m.n = d.U64()
+	return nil
+}
+
+// Halflife encodes bits but its loader never restores it: one finding at
+// the field.
+type Halflife struct {
+	n    uint64
+	bits float64
+}
+
+func (h *Halflife) SaveState(e *persist.Encoder) {
+	e.U64(h.n)
+	e.F64(h.bits)
+}
+
+func (h *Halflife) LoadState(d *persist.Decoder) error {
+	h.n = d.U64()
+	return nil
+}
+
+// Orphan has a save side but no restore path at all: one finding at
+// SaveState.
+type Orphan struct {
+	n uint64
+}
+
+func (o *Orphan) SaveState(e *persist.Encoder) { e.U64(o.n) }

@@ -1,0 +1,25 @@
+// Package global exercises sharecheck's package-level write check: writes
+// outside init fire (including through index expressions), init is exempt,
+// and a justified //mmv2v:shared directive suppresses.
+package global
+
+var hits uint64
+var limit = 8
+var registry = map[string]int{}
+
+func init() { limit = 16 }
+
+// Bump writes a package-level counter: one finding.
+func Bump() {
+	hits++
+}
+
+// Configure writes a package-level knob with a justification: no finding.
+func Configure(n int) {
+	limit = n //mmv2v:shared test-only knob, set before any trial starts
+}
+
+// Register writes through a package-level map: one finding.
+func Register(k string) {
+	registry[k] = len(registry)
+}

@@ -1,0 +1,16 @@
+// Package sim exercises the internal/sim exemption from the captured-write
+// check: the slot-per-trial merge — each goroutine writing only its own
+// index of a shared results slice — is the sanctioned pattern the real
+// sim.Runner uses. No findings.
+package sim
+
+// Gather runs job(i) concurrently and merges results slot-per-trial.
+func Gather(n int, job func(int) int) []int {
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			out[i] = job(i)
+		}(i)
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+// Package spawn exercises sharecheck's goroutine checks: loop-variable
+// capture and writes to captured variables fire; passing values as call
+// arguments (evaluated at go-statement time) is clean, and //mmv2v:shared
+// suppresses a justified shared write.
+package spawn
+
+// Fan captures the loop variables i and job and writes the captured slice
+// out from each goroutine: three findings on the closure body line.
+func Fan(jobs []func() int) []int {
+	out := make([]int, len(jobs))
+	for i, job := range jobs {
+		go func() {
+			out[i] = job()
+		}()
+	}
+	return out
+}
+
+// FanSafe passes the loop variables and the destination as arguments, so
+// each goroutine owns its copies: no findings.
+func FanSafe(jobs []func() int) []int {
+	out := make([]int, len(jobs))
+	for i, job := range jobs {
+		go func(i int, job func() int, slot []int) {
+			slot[0] = job()
+		}(i, job, out[i:i+1])
+	}
+	return out
+}
+
+// Background writes a captured pointer target with a justification: no
+// finding.
+func Background(log *[]string) {
+	go func() {
+		//mmv2v:shared single background writer; reader joins only after Wait
+		*log = append(*log, "spawned")
+	}()
+}

@@ -1,0 +1,11 @@
+// Package clockutil is an importable wall-clock helper under the cmd/
+// tree: exempt from the direct check, but a laundering vector the
+// transitive upgrade closes at every internal call site.
+package clockutil
+
+import "time"
+
+// NowSec reads the wall clock; no direct finding here (cmd/ exemption).
+func NowSec() float64 {
+	return float64(time.Now().UnixNano()) / 1e9
+}

@@ -1,0 +1,26 @@
+// Package caller exercises the transitive wallclock upgrade: calling a
+// helper that reaches time.Now is flagged at the call site, whether the
+// helper hides in the exempt cmd/ tree or in another internal package.
+package caller
+
+import (
+	"time"
+
+	"fixture/cmd/clockutil"
+	"fixture/internal/clocked"
+)
+
+// Elapsed launders a wall-clock read through the cmd/ tree: one finding.
+func Elapsed() float64 {
+	return clockutil.NowSec()
+}
+
+// Twice launders through a module-internal tainted helper: one finding.
+func Twice() time.Duration {
+	return clocked.Stamp() * 2
+}
+
+// Scale calls an untainted helper: no finding.
+func Scale(d time.Duration) time.Duration {
+	return clocked.Scale(d)
+}

@@ -124,17 +124,18 @@ type segGeom struct {
 // Network is a running road-graph traffic simulation. Create with
 // NewNetwork; not safe for concurrent use. It implements Fleet.
 type Network struct {
-	cfg      NetworkConfig
-	segs     []segGeom
-	outs     [][]int // outgoing segment indices per node, ascending
+	cfg  NetworkConfig //mmv2v:derived construction parameter re-supplied by the restore caller
+	segs []segGeom     //mmv2v:derived precomputed road-graph geometry derived from cfg by NewNetwork
+	// outs holds outgoing segment indices per node, ascending.
+	outs     [][]int //mmv2v:derived adjacency index derived from cfg topology by NewNetwork
 	vehicles []*Vehicle
 	rng      *xrand.Source
 	// routeSeed drives the pure-hash route choice at intersections.
-	routeSeed uint64
+	routeSeed uint64 //mmv2v:derived derived from the rng construction seed; constant per trial
 	elapsed   float64
 	// groups[laneBase+lane] holds the segment-lane's vehicles sorted by S;
 	// rebuilt each step from persistent scratch slices.
-	groups [][]*Vehicle
+	groups [][]*Vehicle //mmv2v:derived per-step sort scratch; rebuilt from vehicles every Step
 }
 
 // NewNetwork builds a network and populates it with cfg.Vehicles vehicles

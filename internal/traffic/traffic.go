@@ -230,7 +230,7 @@ type Vehicle struct {
 // Road is a running traffic simulation. Create with New; not safe for
 // concurrent use.
 type Road struct {
-	cfg      Config
+	cfg      Config //mmv2v:derived construction parameter re-supplied by the restore caller
 	vehicles []*Vehicle
 	rng      *xrand.Source
 	// order[dir][lane] caches vehicles sorted by S for leader lookups;
