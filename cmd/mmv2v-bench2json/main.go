@@ -13,6 +13,10 @@
 // units) into a metrics map. Non-benchmark lines (PASS, ok, failures) are
 // ignored, so piping a full `make bench` run through it just works.
 //
+// -commit stamps the report with the source revision it measured; CI passes
+// its checkout SHA so archived reports are traceable. The converter never
+// execs git itself — provenance is the caller's claim, not a subprocess.
+//
 // With -baseline, the converted run doubles as a regression gate: each
 // fresh (pkg, name) ns/op is compared against the committed baseline
 // report, and the command exits nonzero when any pinned hot path slowed by
@@ -44,16 +48,18 @@ type Benchmark struct {
 // Report is the whole converted run.
 type Report struct {
 	Date       string            `json:"date,omitempty"`
+	Commit     string            `json:"commit,omitempty"`
 	Env        map[string]string `json:"env,omitempty"`
 	Benchmarks []Benchmark       `json:"benchmarks"`
 }
 
 func main() {
 	date := flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the report")
+	commit := flag.String("commit", "", "commit hash to stamp into the report (CI passes its checkout SHA; the converter never execs git)")
 	baseline := flag.String("baseline", "", "baseline report JSON to gate ns/op against; exit 1 on regression")
 	threshold := flag.Float64("threshold", 0.15, "allowed fractional ns/op slowdown over the baseline")
 	flag.Parse()
-	rep, err := run(os.Stdin, os.Stdout, *date)
+	rep, err := run(os.Stdin, os.Stdout, *date, *commit)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mmv2v-bench2json:", err)
 		os.Exit(1)
@@ -82,12 +88,13 @@ func main() {
 	}
 }
 
-func run(in io.Reader, out io.Writer, date string) (*Report, error) {
+func run(in io.Reader, out io.Writer, date, commit string) (*Report, error) {
 	rep, err := parse(in)
 	if err != nil {
 		return nil, err
 	}
 	rep.Date = date
+	rep.Commit = commit
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return rep, enc.Encode(rep)

@@ -64,13 +64,25 @@ func TestParseMalformedLine(t *testing.T) {
 
 func TestRunEmitsJSON(t *testing.T) {
 	var out strings.Builder
-	if _, err := run(strings.NewReader(sample), &out, "2026-08-06"); err != nil {
+	if _, err := run(strings.NewReader(sample), &out, "2026-08-06", "abc1234"); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"date": "2026-08-06"`, `"name": "Refresh15vpl"`, `"ns/op": 11859939`} {
+	for _, want := range []string{`"date": "2026-08-06"`, `"commit": "abc1234"`, `"name": "Refresh15vpl"`, `"ns/op": 11859939`} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("JSON output missing %s:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestRunOmitsEmptyCommit keeps local runs (no -commit) byte-compatible with
+// pre-commit-stamp reports: the field must vanish, not appear empty.
+func TestRunOmitsEmptyCommit(t *testing.T) {
+	var out strings.Builder
+	if _, err := run(strings.NewReader(sample), &out, "2026-08-06", ""); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), `"commit"`) {
+		t.Errorf("empty commit stamp serialized:\n%s", out.String())
 	}
 }
 

@@ -24,6 +24,13 @@
 // ends in .csv — with a summary table on stderr; the stdout tables are
 // byte-identical with or without it. -cpuprofile/-memprofile write pprof
 // profiles of the whole run.
+//
+// -series <path> records windowed per-layer samples for the same figures
+// (9 and the fault sweep) as JSON Lines — or CSV when the path ends in
+// .csv. -http <addr> serves live telemetry while the figures build:
+// /healthz, /progress (completed cells; totals are unknown up front, so no
+// ETA) and /debug/pprof/. The stdout tables are byte-identical with or
+// without either flag.
 package main
 
 import (
@@ -49,16 +56,18 @@ func main() {
 
 func run(w io.Writer) error {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, t2, ablation, trucks, warmup, faults, city, all")
-		trials   = flag.Int("trials", 0, "trials per data point (0 = per-figure default)")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		format   = flag.String("format", "table", "output format: table or csv")
-		workers  = flag.Int("workers", 0, "max concurrent trial simulations (0 = all CPU cores); results are identical for any value")
-		faultRun = flag.Bool("faults", false, "shorthand for -fig faults: the graceful-degradation fault sweep")
-		verbose  = flag.Bool("progress", false, "print per-cell completion progress with elapsed wall-clock time to stderr")
-		statsOut = flag.String("stats", "", "record per-layer statistics (figures 9 and faults) and write them to this file (CSV if the path ends in .csv, JSON Lines otherwise)")
-		cpuOut   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memOut   = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
+		fig       = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, t2, ablation, trucks, warmup, faults, city, all")
+		trials    = flag.Int("trials", 0, "trials per data point (0 = per-figure default)")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		format    = flag.String("format", "table", "output format: table or csv")
+		workers   = flag.Int("workers", 0, "max concurrent trial simulations (0 = all CPU cores); results are identical for any value")
+		faultRun  = flag.Bool("faults", false, "shorthand for -fig faults: the graceful-degradation fault sweep")
+		verbose   = flag.Bool("progress", false, "print per-cell completion progress with elapsed wall-clock time to stderr")
+		statsOut  = flag.String("stats", "", "record per-layer statistics (figures 9 and faults) and write them to this file (CSV if the path ends in .csv, JSON Lines otherwise)")
+		seriesOut = flag.String("series", "", "record windowed per-layer samples (figures 9 and faults) and write them to this file (CSV if the path ends in .csv, JSON Lines otherwise)")
+		httpAddr  = flag.String("http", "", "serve live run telemetry (/healthz /progress /debug/pprof/) on this address")
+		cpuOut    = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memOut    = flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
 	flag.Parse()
 	if *faultRun {
@@ -78,21 +87,41 @@ func run(w io.Writer) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	var srv *mmv2v.LiveServer
+	if *httpAddr != "" {
+		srv = mmv2v.NewLiveServer()
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			return err
+		}
+		// The snapshot endpoints stay serveable until the process exits; a
+		// close error here can only race process teardown, so drop it.
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintln(os.Stderr, "mmv2v-experiments: live introspection on http://"+addr)
+	}
 	// Progress callbacks fire from concurrent experiment cells; serialize
 	// the printer. Wall-clock time is measured here, never inside the
-	// deterministic experiment layer.
+	// deterministic experiment layer. The live server keeps its own lock,
+	// so CellDone rides the same callback without widening the mutex.
 	runStart := time.Now()
 	var progress func(cell string)
-	if *verbose {
+	if *verbose || srv != nil {
 		var mu sync.Mutex
 		progress = func(cell string) {
-			mu.Lock()
-			defer mu.Unlock()
-			fmt.Fprintf(os.Stderr, "[%v] %s\n", time.Since(runStart).Round(time.Millisecond), cell)
+			if srv != nil {
+				srv.CellDone(cell)
+			}
+			if *verbose {
+				mu.Lock()
+				defer mu.Unlock()
+				fmt.Fprintf(os.Stderr, "[%v] %s\n", time.Since(runStart).Round(time.Millisecond), cell)
+			}
 		}
 	}
 	recordStats := *statsOut != ""
+	recordSeries := *seriesOut != ""
 	var statsRows []mmv2v.StatsRow
+	var seriesRows []mmv2v.SeriesRow
 	if *format != "table" && *format != "csv" {
 		return fmt.Errorf("unknown format %q (want table or csv)", *format)
 	}
@@ -165,6 +194,7 @@ func run(w io.Writer) error {
 			opts.Workers = *workers
 			opts.Progress = progress
 			opts.Stats = recordStats
+			opts.Series = recordSeries
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -173,6 +203,7 @@ func run(w io.Writer) error {
 				return err
 			}
 			statsRows = append(statsRows, res.StatsRows()...)
+			seriesRows = append(seriesRows, res.SeriesRows()...)
 			if csvMode {
 				return res.WriteCSV(w)
 			}
@@ -237,6 +268,7 @@ func run(w io.Writer) error {
 			opts.Workers = *workers
 			opts.Progress = progress
 			opts.Stats = recordStats
+			opts.Series = recordSeries
 			if *trials > 0 {
 				opts.Trials = *trials
 			}
@@ -245,6 +277,7 @@ func run(w io.Writer) error {
 				return err
 			}
 			statsRows = append(statsRows, res.StatsRows()...)
+			seriesRows = append(seriesRows, res.SeriesRows()...)
 			if csvMode {
 				return res.WriteCSV(w)
 			}
@@ -316,6 +349,11 @@ func run(w io.Writer) error {
 			return err
 		}
 	}
+	if recordSeries {
+		if err := writeSeries(*seriesOut, seriesRows); err != nil {
+			return err
+		}
+	}
 	return writeMemProfile(*memOut)
 }
 
@@ -341,6 +379,31 @@ func writeStats(path string, rows []mmv2v.StatsRow) error {
 	}
 	fmt.Fprintln(os.Stderr)
 	mmv2v.WriteStatsSummary(os.Stderr, rows)
+	return nil
+}
+
+// writeSeries exports the collected per-window series rows to path — CSV
+// when the suffix asks for it, JSON Lines otherwise. No summary table: the
+// series is a machine-readable artifact, and stdout stays byte-identical
+// with or without it.
+func writeSeries(path string, rows []mmv2v.SeriesRow) error {
+	mmv2v.SortSeriesRows(rows)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = mmv2v.WriteSeriesCSV(f, rows)
+	} else {
+		err = mmv2v.WriteSeriesJSONL(f, rows)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mmv2v-experiments: wrote %d series rows to %s\n", len(rows), path)
 	return nil
 }
 

@@ -35,6 +35,15 @@
 // path as JSON Lines — or CSV when the path ends in .csv — plus a summary
 // table; see DESIGN.md §9 for the schema. -cpuprofile/-memprofile write
 // pprof profiles of the run.
+//
+// -series <path> additionally samples the statistics registry at every
+// window boundary and writes the per-window deltas as JSON Lines (CSV when
+// the path ends in .csv), one scope per protocol. -http <addr> serves live
+// run telemetry — /healthz, /metrics, /series, /progress and
+// /debug/pprof/ — while the run executes; it implies -series sampling
+// (which, like -stats, is part of the checkpoint fingerprint) but changes
+// nothing on stdout. Under -drive the HTTP surface reports per-refresh
+// link-table gauges instead. See DESIGN.md §9 for the contract.
 package main
 
 import (
@@ -87,16 +96,33 @@ func run() (err error) {
 		gridVeh   = flag.Int("grid-vehicles", 0, "grid world: vehicle count (0 = 240 for protocol runs, 10000 for -drive)")
 		driveSec  = flag.Float64("drive", 0, "drive traffic + link refreshes for this many simulated seconds without a protocol (grid world scale mode)")
 		refreshMs = flag.Float64("refresh-ms", 100, "scale drive: link-table refresh period in simulated ms (traffic always steps at 5 ms)")
+		seriesOut = flag.String("series", "", "sample per-layer statistics at every window boundary and write the per-window deltas to this file (CSV if the path ends in .csv, JSON Lines otherwise)")
+		httpAddr  = flag.String("http", "", "serve live run telemetry (/healthz /metrics /series /progress /debug/pprof/) on this address; implies -series sampling")
 	)
 	flag.Parse()
 	if *worldKind != "road" && *worldKind != "grid" {
 		return fmt.Errorf("unknown world %q (want road or grid)", *worldKind)
 	}
+	var srv *mmv2v.LiveServer
+	if *httpAddr != "" {
+		srv = mmv2v.NewLiveServer()
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			return err
+		}
+		// The snapshot endpoints stay serveable until the process exits; a
+		// close error here can only race process teardown, so drop it.
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "mmv2v-sim: live introspection on http://%s\n", addr)
+	}
 	if *driveSec > 0 {
 		if *worldKind != "grid" {
 			return fmt.Errorf("-drive requires -world grid")
 		}
-		return driveGrid(gridConfig(*gridRows, *gridCols, *gridBlock, *gridVeh, driveGridDefaults), *seed, *driveSec, *refreshMs)
+		if *seriesOut != "" {
+			return fmt.Errorf("-drive runs no protocol and samples no registry; drop -series")
+		}
+		return driveGrid(gridConfig(*gridRows, *gridCols, *gridBlock, *gridVeh, driveGridDefaults), *seed, *driveSec, *refreshMs, srv)
 	}
 
 	if *cpuOut != "" {
@@ -120,6 +146,9 @@ func run() (err error) {
 		cfg = mmv2v.GridScenario(grid, *seed)
 	}
 	cfg.Stats = *statsOut != ""
+	// -http implies the windowed series so /series and /metrics have data;
+	// both knobs are scenario-defining (fingerprint) like -stats.
+	cfg.Series = *seriesOut != "" || *httpAddr != ""
 	cfg.WindowSec = *seconds
 	cfg.Windows = *windows
 	cfg.DemandBits = *demand
@@ -182,6 +211,9 @@ func run() (err error) {
 		if *runlogOut != "" && *statsOut != "" {
 			return fmt.Errorf("-runlog records metric tables, not the -stats registry; drop one of the two")
 		}
+		if *runlogOut != "" && cfg.Series {
+			return fmt.Errorf("-runlog's recorded recipe cannot reproduce the series registry; drop -series/-http")
+		}
 	}
 
 	if !*jsonOut {
@@ -205,8 +237,19 @@ func run() (err error) {
 	}
 	var rows []jsonRow
 	var statsRows []mmv2v.StatsRow
+	var seriesRows []mmv2v.SeriesRow
+	if srv != nil {
+		totalTrials := len(names) * *trials
+		srv.SetTotals(len(names), totalTrials, totalTrials*(*windows))
+	}
 	for _, name := range names {
 		pcfg := cfg
+		if srv != nil {
+			// Each protocol is one cell; trial indices restart per cell, so
+			// StartRun drops the previous protocol's accumulators.
+			srv.StartRun(name)
+			pcfg.Monitor = srv
+		}
 		if *ckptDir != "" {
 			pcfg.Checkpoint = *ckptDir
 			if len(names) > 1 {
@@ -230,6 +273,12 @@ func run() (err error) {
 		}
 		if *statsOut != "" {
 			statsRows = append(statsRows, mmv2v.StatsRows(res.Obs, res.Protocol)...)
+		}
+		if *seriesOut != "" {
+			seriesRows = append(seriesRows, mmv2v.SeriesRows(res.Series.Points(), res.Protocol)...)
+		}
+		if srv != nil {
+			srv.CellDone(res.Protocol)
 		}
 		for _, te := range res.Failures {
 			fmt.Fprintf(os.Stderr, "mmv2v-sim: %v\n", te)
@@ -263,6 +312,11 @@ func run() (err error) {
 	}
 	if *statsOut != "" {
 		if err := writeStats(*statsOut, statsRows, *jsonOut); err != nil {
+			return err
+		}
+	}
+	if *seriesOut != "" {
+		if err := writeSeries(*seriesOut, seriesRows); err != nil {
 			return err
 		}
 	}
@@ -326,6 +380,31 @@ func writeStats(path string, rows []mmv2v.StatsRow, jsonMode bool) error {
 	return nil
 }
 
+// writeSeries exports the per-window series rows to path — CSV when the
+// suffix asks for it, JSON Lines otherwise. Unlike -stats there is no
+// summary table: the series is a machine-readable artifact, and stdout
+// stays byte-identical with or without it.
+func writeSeries(path string, rows []mmv2v.SeriesRow) error {
+	mmv2v.SortSeriesRows(rows)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = mmv2v.WriteSeriesCSV(f, rows)
+	} else {
+		err = mmv2v.WriteSeriesJSONL(f, rows)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mmv2v-sim: wrote %d series rows to %s\n", len(rows), path)
+	return nil
+}
+
 // gridDefaults are the per-mode fallbacks for unset grid geometry flags:
 // protocol runs get a dense downtown grid so neighborhoods match the
 // paper's 5–8 band at 240 vehicles; the scale drive gets the full city.
@@ -364,8 +443,10 @@ func gridConfig(rows, cols int, blockM float64, vehicles int, def gridDefaults) 
 // driveGrid is the protocol-free scale mode: advance traffic at the 5 ms
 // mobility cadence, refresh the link table every refreshMs simulated
 // milliseconds, and report table size plus wall-clock per refresh. All
-// timing lives here in the CLI; the library loop is deterministic.
-func driveGrid(grid mmv2v.GridConfig, seed uint64, seconds, refreshMs float64) error {
+// timing lives here in the CLI; the library loop is deterministic. With a
+// live server attached, every refresh publishes a fresh gauge snapshot and
+// tick progress, so /metrics and /progress track a 10k drive in flight.
+func driveGrid(grid mmv2v.GridConfig, seed uint64, seconds, refreshMs float64, srv *mmv2v.LiveServer) error {
 	buildStart := time.Now()
 	g, err := mmv2v.NewGridWorld(grid, seed)
 	if err != nil {
@@ -385,6 +466,9 @@ func driveGrid(grid mmv2v.GridConfig, seed uint64, seconds, refreshMs float64) e
 			g.RefreshLinks()
 			inRefresh += time.Since(rs)
 			refreshes++
+			if srv != nil {
+				publishDrive(srv, g, t, ticks, refreshes)
+			}
 		}
 	}
 	elapsed := time.Since(start)
@@ -395,6 +479,22 @@ func driveGrid(grid mmv2v.GridConfig, seed uint64, seconds, refreshMs float64) e
 	fmt.Printf("%d link refreshes, %.2f ms/refresh\n", refreshes, float64(perRefresh.Microseconds())/1000)
 	fmt.Printf("final link table: %d directed entries, avg |N| %.1f\n", g.TotalLinks(), g.AvgNeighbors())
 	return nil
+}
+
+// publishDrive pushes the drive's current link-table shape to the live
+// server: one snapshot per refresh, rows pre-sorted by name so /metrics is
+// byte-stable between refreshes. Tick counts stand in for windows in
+// /progress — the drive has no measurement windows.
+func publishDrive(srv *mmv2v.LiveServer, g *mmv2v.GridWorld, tick, ticks, refreshes int) {
+	avgN := g.AvgNeighbors()
+	links := float64(g.TotalLinks())
+	rows := []mmv2v.StatsRow{
+		{Name: "drive.avg_neighbors", Kind: "gauge", Count: 1, Sum: avgN, Min: avgN, Max: avgN},
+		{Name: "drive.links", Kind: "gauge", Count: 1, Sum: links, Min: links, Max: links},
+		{Name: "drive.refreshes", Kind: "counter", Count: uint64(refreshes)},
+		{Name: "drive.ticks", Kind: "counter", Count: uint64(tick)},
+	}
+	srv.Publish(rows, nil, mmv2v.ProgressState{Label: "drive", WindowsDone: tick, WindowsTotal: ticks})
 }
 
 // writeMemProfile snapshots the heap (after forcing a GC so the profile

@@ -37,6 +37,9 @@ type FaultsOptions struct {
 	Workers int
 	// Stats enables per-cell layer statistics (see Fig9Options.Stats).
 	Stats bool
+	// Series additionally samples each cell's registry at every window
+	// boundary (see Fig9Options.Series).
+	Series bool
 	// Progress, when non-nil, is invoked once per completed (intensity,
 	// protocol) cell with a short label. Cells complete on concurrent
 	// goroutines, so the callback must be safe for concurrent use.
@@ -69,6 +72,9 @@ type FaultsCell struct {
 	Failures int
 	// Obs is the cell's pooled layer statistics (nil unless Options.Stats).
 	Obs *obs.Registry
+	// Series is the cell's pooled windowed samples (nil unless
+	// Options.Series).
+	Series *obs.Series
 }
 
 // FaultsRow is one intensity's measurements.
@@ -106,6 +112,7 @@ func FaultSweep(opts FaultsOptions) (*FaultsResult, error) {
 		}
 		cfg.Retry = opts.Retry
 		cfg.Stats = opts.Stats
+		cfg.Series = opts.Series
 		profile := opts.Profile.Scale(opts.Intensities[ii])
 		cfg.Faults = &profile
 		pooled, err := runner.RunTrials(cfg, factories[fi], opts.Trials)
@@ -120,6 +127,7 @@ func FaultSweep(opts FaultsOptions) (*FaultsResult, error) {
 			Retried:        pooled.Retried,
 			Failures:       len(pooled.Failures),
 			Obs:            pooled.Obs,
+			Series:         pooled.Series,
 		}
 		reportProgress(opts.Progress, "faults intensity=%g %s", opts.Intensities[ii], pooled.Protocol)
 		return nil
@@ -169,6 +177,22 @@ func (r *FaultsResult) StatsRows() []obs.Row {
 		}
 	}
 	obs.SortRows(rows)
+	return rows
+}
+
+// SeriesRows exports every cell's windowed samples (when the run had
+// Options.Series), each row scoped "faults/intensity=<i>/<protocol>",
+// sorted by (scope, window, name, kind). Nil-Series cells contribute
+// nothing.
+func (r *FaultsResult) SeriesRows() []obs.SeriesRow {
+	var rows []obs.SeriesRow
+	for _, row := range r.Rows {
+		for _, c := range row.Cells {
+			scope := fmt.Sprintf("faults/intensity=%g/%s", row.Intensity, c.Protocol)
+			rows = append(rows, obs.SeriesRows(c.Series.Points(), scope)...)
+		}
+	}
+	obs.SortSeriesRows(rows)
 	return rows
 }
 

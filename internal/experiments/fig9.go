@@ -29,6 +29,10 @@ type Fig9Options struct {
 	// obs.Registry lands in its Fig9Cell and StatsRows exports the whole
 	// grid. Off (the default), cells carry a nil registry at zero cost.
 	Stats bool
+	// Series additionally samples each cell's registry at every window
+	// boundary (implies the registry): the pooled series lands in the cell
+	// and SeriesRows exports the whole grid.
+	Series bool
 	// Progress, when non-nil, is invoked once per completed (density,
 	// protocol) cell with a short label. Cells complete on concurrent
 	// goroutines, so the callback must be safe for concurrent use.
@@ -53,6 +57,9 @@ type Fig9Cell struct {
 	OCRCI95 float64
 	// Obs is the cell's pooled layer statistics (nil unless Options.Stats).
 	Obs *obs.Registry
+	// Series is the cell's pooled windowed samples (nil unless
+	// Options.Series).
+	Series *obs.Series
 }
 
 // Fig9Row is one density's measurements.
@@ -94,6 +101,7 @@ func Fig9(opts Fig9Options) (*Fig9Result, error) {
 		di, fi := k/nf, k%nf
 		cfg := scenario(opts.Densities[di], opts.Seed)
 		cfg.Stats = opts.Stats
+		cfg.Series = opts.Series
 		pooled, err := runner.RunTrials(cfg, factories[fi], opts.Trials)
 		if err != nil {
 			return err
@@ -103,7 +111,7 @@ func Fig9(opts Fig9Options) (*Fig9Result, error) {
 			ocrs = append(ocrs, st.OCR)
 		}
 		_, ci := metrics.MeanCI95(ocrs)
-		cells[k] = Fig9Cell{Protocol: pooled.Protocol, Summary: pooled.Summary, OCRCI95: ci, Obs: pooled.Obs}
+		cells[k] = Fig9Cell{Protocol: pooled.Protocol, Summary: pooled.Summary, OCRCI95: ci, Obs: pooled.Obs, Series: pooled.Series}
 		avgN[k] = pooled.AvgNeighbors
 		reportProgress(opts.Progress, "fig9 density=%g %s", opts.Densities[di], pooled.Protocol)
 		return nil
@@ -155,6 +163,21 @@ func (r *Fig9Result) StatsRows() []obs.Row {
 		}
 	}
 	obs.SortRows(rows)
+	return rows
+}
+
+// SeriesRows exports every cell's windowed samples (when the run had
+// Options.Series), each row scoped "fig9/density=<d>/<protocol>", sorted by
+// (scope, window, name, kind). Nil-Series cells contribute nothing.
+func (r *Fig9Result) SeriesRows() []obs.SeriesRow {
+	var rows []obs.SeriesRow
+	for _, row := range r.Rows {
+		for _, c := range row.Cells {
+			scope := fmt.Sprintf("fig9/density=%g/%s", row.DensityVPL, c.Protocol)
+			rows = append(rows, obs.SeriesRows(c.Series.Points(), scope)...)
+		}
+	}
+	obs.SortSeriesRows(rows)
 	return rows
 }
 

@@ -107,9 +107,14 @@ func buildModule(pkgs []*Package) *Module {
 		}
 		return a.Line < b.Line
 	})
+	// internal/obs/live is the sanctioned introspection boundary: its
+	// wall-clock reads feed only the HTTP progress/ETA surface and can never
+	// flow back into simulation state, so taint neither originates in nor
+	// propagates through it. Everything else reaching the clock outside cmd/
+	// is laundering.
 	m.wallclockTaint = m.propagate(
 		func(fi *funcInfo) []directUse { return fi.wallclock },
-		func(fi *funcInfo) bool { return false },
+		func(fi *funcInfo) bool { return underLive(fi.pkg) },
 	)
 	// internal/xrand is the sanctioned randomness wrapper: its direct
 	// math/rand use is the boundary itself, so taint neither originates in

@@ -26,7 +26,7 @@ func Passes() []Pass {
 		},
 		{
 			Name: "wallclock",
-			Doc:  "time.Now/Since/Sleep and timer construction are forbidden outside cmd/ (simulation time comes from des)",
+			Doc:  "time.Now/Since/Sleep and timer construction are forbidden outside cmd/ and internal/obs/live (simulation time comes from des)",
 			run:  runWallClock,
 		},
 		{
@@ -36,7 +36,7 @@ func Passes() []Pass {
 		},
 		{
 			Name: "goroutine",
-			Doc:  "go statements and select are forbidden outside internal/sim (sim.Runner owns all parallelism)",
+			Doc:  "go statements and select are forbidden outside internal/sim and internal/obs/live (sim.Runner owns all parallelism; live only reads published snapshots)",
 			run:  runGoroutine,
 		},
 		{
@@ -89,6 +89,14 @@ func underSim(p *Package) bool {
 	return p.Rel == "internal/sim" || strings.HasPrefix(p.Rel, "internal/sim/")
 }
 
+// underLive reports whether the package is internal/obs/live — the sanctioned
+// network boundary, exactly that one package (children are not exempt): its
+// goroutines only serve published immutable snapshots, and its wall-clock
+// reads (ETA) can never reach simulation state.
+func underLive(p *Package) bool {
+	return p.Rel == "internal/obs/live"
+}
+
 // runMapRange flags iteration over map-typed values. Map iteration order is
 // randomized per run, so any map range on a path that feeds simulation state
 // or rendered output breaks byte-identical reproducibility. A
@@ -126,14 +134,17 @@ var wallClockFuncs = map[string]bool{
 	"AfterFunc": true,
 }
 
-// runWallClock flags wall-clock reads and timer construction outside cmd/,
-// where they are allowed for progress printing only. The check is
+// runWallClock flags wall-clock reads and timer construction outside cmd/
+// (allowed for progress printing only) and internal/obs/live (allowed for
+// ETA estimation, which never reaches simulation state). The check is
 // transitive over the module call graph: calling a helper that reaches
 // time.Now — even one declared in the exempt cmd/ tree — is flagged at the
 // call site with the witness chain, so the exemption cannot launder clock
-// reads into simulation code.
+// reads into simulation code. internal/obs/live is additionally sealed in
+// the taint propagation (like internal/xrand for globalrand), so calling
+// its clock-free API surface stays clean.
 func runWallClock(p *Package) []Finding {
-	if underCmd(p) {
+	if underCmd(p) || underLive(p) {
 		return nil
 	}
 	var out []Finding
@@ -215,11 +226,13 @@ func runGlobalRand(p *Package) []Finding {
 	return out
 }
 
-// runGoroutine flags go statements and select outside internal/sim:
-// sim.Runner owns all parallelism, and its slot-per-trial merge is what
-// keeps concurrent output byte-identical.
+// runGoroutine flags go statements and select outside internal/sim and
+// internal/obs/live: sim.Runner owns all simulation parallelism (its
+// slot-per-trial merge is what keeps concurrent output byte-identical), and
+// live's network goroutines are sanctioned because they only read published
+// immutable snapshots.
 func runGoroutine(p *Package) []Finding {
-	if underSim(p) {
+	if underSim(p) || underLive(p) {
 		return nil
 	}
 	var out []Finding

@@ -24,10 +24,13 @@ import (
 //     not own (declared outside the closure) — unsynchronized writes whose
 //     interleaving the scheduler picks.
 //
-// internal/sim is exempt from check 3 only: its slot-per-trial merge
-// (errs[i] = job(i)) is the sanctioned shared write this pass exists to
-// protect. The //mmv2v:shared <justification> directive suppresses any
-// sharecheck finding; the justification is mandatory, like every directive.
+// internal/sim and internal/obs/live are exempt from check 3 only:
+// sim's slot-per-trial merge (errs[i] = job(i)) is the sanctioned shared
+// write this pass exists to protect, and live's serving goroutine is the
+// sanctioned network boundary (snapshots cross it through an atomic pointer,
+// publisher state stays behind a mutex). The //mmv2v:shared <justification>
+// directive suppresses any sharecheck finding; the justification is
+// mandatory, like every directive.
 
 // writeTarget unwraps an assignment target to its root identifier: the
 // variable being written, possibly through selectors, indexing, or pointer
@@ -180,9 +183,10 @@ func runShareCheck(p *Package) []Finding {
 					return true
 				})
 				// Check 3: writes to captured variables. internal/sim's
-				// slot-per-trial merge is the sanctioned exception;
-				// package-level targets are already check 1's findings.
-				if underSim(p) {
+				// slot-per-trial merge and internal/obs/live's serving
+				// goroutine are the sanctioned exceptions; package-level
+				// targets are already check 1's findings.
+				if underSim(p) || underLive(p) {
 					return true
 				}
 				writes(lit.Body, func(id *ast.Ident) {

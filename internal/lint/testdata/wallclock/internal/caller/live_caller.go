@@ -1,0 +1,9 @@
+package caller
+
+import "fixture/internal/obs/live"
+
+// Watch consumes the sealed internal/obs/live boundary: no finding — the
+// clock read stays behind the sanctioned surface instead of laundering out.
+func Watch() float64 {
+	return live.Elapsed()
+}

@@ -1,0 +1,10 @@
+// Package obs is the parent of the exempt live package: the allowlist is
+// exactly internal/obs/live, so wall-clock reads here still fire.
+package obs
+
+import "time"
+
+// Stamp reads the wall clock twice on one line: two findings.
+func Stamp() time.Duration {
+	return time.Since(time.Now())
+}

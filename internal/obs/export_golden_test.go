@@ -1,0 +1,54 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mmv2v/internal/obs"
+)
+
+// goldenRegistry mirrors TestGoldenJSONL's registry so all three export
+// formats are goldened against the same data.
+func goldenRegistry() *obs.Registry {
+	r := obs.New()
+	r.Counter("snd.ssw_tx").Add(144)
+	g := r.Gauge("udt.airtime_sec.mcs12")
+	g.Observe(0.25)
+	g.Observe(0.5)
+	h := r.Histogram("world.refresh_links", []float64{16, 64})
+	h.Observe(12)
+	h.Observe(80)
+	return r
+}
+
+func TestGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.WriteCSV(&buf, goldenRegistry().Rows("fig9/density=15/mmV2V")); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"scope,name,kind,count,sum,min,max,buckets",
+		"fig9/density=15/mmV2V,snd.ssw_tx,counter,144,0,0,0,",
+		"fig9/density=15/mmV2V,udt.airtime_sec.mcs12,gauge,2,0.75,0.25,0.5,",
+		"fig9/density=15/mmV2V,world.refresh_links,histogram,2,92,0,0,16=1;64=0;+Inf=1",
+	}, "\n") + "\n"
+	if buf.String() != want {
+		t.Fatalf("golden CSV mismatch:\ngot:\n%swant:\n%s", buf.String(), want)
+	}
+}
+
+func TestGoldenSummary(t *testing.T) {
+	var buf bytes.Buffer
+	obs.WriteSummary(&buf, goldenRegistry().Rows(""))
+	want := strings.Join([]string{
+		"name                   kind             count            sum           mean            min            max",
+		"snd.ssw_tx             counter            144              -              -              -              -",
+		"udt.airtime_sec.mcs12  gauge                2         0.7500         0.3750         0.2500         0.5000",
+		"world.refresh_links    histogram            2        92.0000        46.0000              -              -",
+		"                         buckets: ≤16:1 ≤64:0 ≤+Inf:1",
+	}, "\n") + "\n"
+	if buf.String() != want {
+		t.Fatalf("golden summary mismatch:\ngot:\n%swant:\n%s", buf.String(), want)
+	}
+}

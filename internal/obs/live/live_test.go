@@ -1,0 +1,216 @@
+package live_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mmv2v/internal/obs"
+	"mmv2v/internal/obs/live"
+)
+
+// get performs one in-process GET against the server's handler.
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+// sampleTrial fabricates one trial's monitor payload: cumulative rows and
+// the series points so far.
+func sampleTrial(trial, windows int) ([]obs.Row, []obs.SeriesPoint) {
+	r := obs.New()
+	s := obs.NewSeries()
+	for w := 0; w < windows; w++ {
+		r.Counter("snd.ssw_tx").Add(uint64(10*trial + w + 1))
+		r.Gauge("udt.goodput").Observe(float64(trial + w))
+		s.Sample(w, r)
+	}
+	return r.Rows(""), s.Points()
+}
+
+func TestEndpointsServePublishedSnapshot(t *testing.T) {
+	srv := live.NewServer()
+	h := srv.Handler()
+
+	code, body := get(t, h, "/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != `{"status":"ok"}` {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	// Before any publish: empty but well-formed.
+	if code, body := get(t, h, "/metrics"); code != http.StatusOK || body != "" {
+		t.Fatalf("empty /metrics = %d %q", code, body)
+	}
+
+	rows, points := sampleTrial(0, 2)
+	srv.WindowDone(0, 0, 2, rows[:len(rows):len(rows)], points[:1])
+	srv.WindowDone(0, 1, 2, rows, points)
+	srv.TrialDone(0)
+
+	code, body = get(t, h, "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, `"name":"snd.ssw_tx"`) {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	code, body = get(t, h, "/series")
+	if code != http.StatusOK || !strings.Contains(body, `"window":1`) {
+		t.Fatalf("/series = %d %q", code, body)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		var parsed map[string]any
+		if err := json.Unmarshal([]byte(line), &parsed); err != nil {
+			t.Fatalf("/series line %q is not JSON: %v", line, err)
+		}
+	}
+}
+
+// TestMetricsAndSeriesByteStable pins the snapshot contract: two
+// consecutive GETs with no publish in between return identical bytes.
+func TestMetricsAndSeriesByteStable(t *testing.T) {
+	srv := live.NewServer()
+	h := srv.Handler()
+	for trial := 0; trial < 3; trial++ {
+		rows, points := sampleTrial(trial, 2)
+		srv.WindowDone(trial, 1, 2, rows, points)
+	}
+	for _, path := range []string{"/metrics", "/series"} {
+		_, first := get(t, h, path)
+		_, second := get(t, h, path)
+		if first == "" {
+			t.Fatalf("%s returned no rows", path)
+		}
+		if first != second {
+			t.Fatalf("%s not byte-stable:\nfirst:\n%s\nsecond:\n%s", path, first, second)
+		}
+	}
+}
+
+// TestPublishMergesTrialsInSlotOrder pins that the live view pools exactly
+// like the end-of-run merge: arrival order must not matter.
+func TestPublishMergesTrialsInSlotOrder(t *testing.T) {
+	render := func(order []int) string {
+		srv := live.NewServer()
+		for _, trial := range order {
+			rows, points := sampleTrial(trial, 2)
+			srv.WindowDone(trial, 1, 2, rows, points)
+		}
+		_, body := get(t, srv.Handler(), "/series")
+		return body
+	}
+	if a, b := render([]int{0, 1, 2}), render([]int{2, 0, 1}); a != b {
+		t.Fatalf("arrival order changed the published series:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestProgressReportsStateAndETA(t *testing.T) {
+	srv := live.NewServer()
+	h := srv.Handler()
+	var body struct {
+		obs.ProgressState
+		Fraction   float64  `json:"fraction"`
+		ElapsedSec float64  `json:"elapsed_sec"`
+		EtaSec     *float64 `json:"eta_sec"`
+	}
+	decode := func() {
+		t.Helper()
+		code, raw := get(t, h, "/progress")
+		if code != http.StatusOK {
+			t.Fatalf("/progress = %d", code)
+		}
+		body = struct {
+			obs.ProgressState
+			Fraction   float64  `json:"fraction"`
+			ElapsedSec float64  `json:"elapsed_sec"`
+			EtaSec     *float64 `json:"eta_sec"`
+		}{}
+		if err := json.Unmarshal([]byte(raw), &body); err != nil {
+			t.Fatalf("/progress body %q: %v", raw, err)
+		}
+	}
+
+	decode()
+	if body.Fraction != 0 || body.EtaSec != nil {
+		t.Fatalf("fresh server progress = %+v, want zero fraction and no ETA", body)
+	}
+
+	srv.SetTotals(2, 4, 8)
+	srv.StartRun("mmv2v")
+	rows, points := sampleTrial(0, 1)
+	srv.WindowDone(0, 0, 8, rows, points)
+	srv.WindowDone(0, 1, 8, rows, points)
+	decode()
+	if body.WindowsDone != 2 || body.WindowsTotal != 8 || body.Label != "mmv2v" {
+		t.Fatalf("progress = %+v, want 2/8 windows labelled mmv2v", body)
+	}
+	if body.Fraction != 0.25 {
+		t.Fatalf("fraction = %v, want 0.25", body.Fraction)
+	}
+	if body.EtaSec == nil || *body.EtaSec < 0 {
+		t.Fatalf("eta = %v, want a non-negative estimate", body.EtaSec)
+	}
+
+	srv.CellDone("fig9/density=15")
+	srv.TrialDone(0)
+	decode()
+	if body.CellsDone != 1 || body.TrialsDone != 1 || body.Label != "fig9/density=15" {
+		t.Fatalf("progress after cell/trial = %+v", body)
+	}
+}
+
+// TestStartRunResetsTrialAccumulators pins the multi-protocol contract:
+// trial indices restart per protocol, so a new run must not merge into the
+// previous protocol's slots.
+func TestStartRunResetsTrialAccumulators(t *testing.T) {
+	srv := live.NewServer()
+	h := srv.Handler()
+	rows, points := sampleTrial(0, 2)
+	srv.StartRun("first")
+	srv.WindowDone(0, 1, 2, rows, points)
+	_, firstBody := get(t, h, "/metrics")
+
+	srv.StartRun("second")
+	srv.WindowDone(0, 1, 2, rows, points)
+	_, secondBody := get(t, h, "/metrics")
+	if firstBody != secondBody {
+		t.Fatalf("second run merged into the first run's slots:\n%s\nvs\n%s", firstBody, secondBody)
+	}
+}
+
+// TestStartServesOverTCP exercises the real listener path end to end.
+func TestStartServesOverTCP(t *testing.T) {
+	srv := live.NewServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() != addr {
+		t.Fatalf("Addr() = %q, want %q", srv.Addr(), addr)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(raw)) != `{"status":"ok"}` {
+		t.Fatalf("GET /healthz over TCP = %d %q", resp.StatusCode, raw)
+	}
+}
+
+// TestServerImplementsMonitorShape guards the structural contract with
+// sim.Monitor without importing sim (which would be an import cycle through
+// nothing — live must stay leaf-level below cmd).
+func TestServerImplementsMonitorShape(t *testing.T) {
+	var _ interface {
+		WindowDone(trial, window, windows int, rows []obs.Row, points []obs.SeriesPoint)
+		TrialDone(trial int)
+	} = live.NewServer()
+}

@@ -57,6 +57,91 @@ func (r *Registry) SaveState(e *persist.Encoder) {
 	}
 }
 
+// encodeRow appends one export row in canonical field order. Scope is
+// included so the codec round-trips any row, though series-internal rows
+// always carry an empty scope.
+func encodeRow(e *persist.Encoder, row Row) {
+	e.String(row.Scope)
+	e.String(row.Name)
+	e.String(row.Kind)
+	e.U64(row.Count)
+	e.F64(row.Sum)
+	e.F64(row.Min)
+	e.F64(row.Max)
+	e.U32(uint32(len(row.Buckets)))
+	for _, b := range row.Buckets {
+		e.String(b.LE)
+		e.U64(b.N)
+	}
+}
+
+// rowWireMin is the minimum encoded size of one row (three empty strings,
+// the four aggregates, the bucket count), used to clamp hostile counts.
+const rowWireMin = 3*4 + 8 + 3*8 + 4
+
+// decodeRow restores one export row encoded by encodeRow.
+func decodeRow(d *persist.Decoder) Row {
+	var row Row
+	row.Scope = d.String()
+	row.Name = d.String()
+	row.Kind = d.String()
+	row.Count = d.U64()
+	row.Sum = d.F64()
+	row.Min = d.F64()
+	row.Max = d.F64()
+	nb := d.Count(4 + 8)
+	for k := 0; k < nb && d.Err() == nil; k++ {
+		row.Buckets = append(row.Buckets, BucketCount{LE: d.String(), N: d.U64()})
+	}
+	return row
+}
+
+// SaveState appends the series' full contents — the previous cumulative
+// snapshot the next delta will be computed against, and every sampled
+// point — so a resumed run continues its series with no gap or duplicate
+// window.
+func (s *Series) SaveState(e *persist.Encoder) {
+	e.U32(uint32(len(s.prev)))
+	for _, row := range s.prev {
+		encodeRow(e, row)
+	}
+	e.U32(uint32(len(s.points)))
+	for _, pt := range s.points {
+		e.Int(pt.Window)
+		e.U32(uint32(len(pt.Rows)))
+		for _, row := range pt.Rows {
+			encodeRow(e, row)
+		}
+	}
+}
+
+// LoadState restores contents checkpointed by Series.SaveState, replacing
+// the receiver's snapshot and points wholesale (a series holds no live
+// handles, so in-place patching buys nothing).
+func (s *Series) LoadState(d *persist.Decoder) error {
+	np := d.Count(rowWireMin)
+	prev := make([]Row, 0, np)
+	for i := 0; i < np && d.Err() == nil; i++ {
+		prev = append(prev, decodeRow(d))
+	}
+	nw := d.Count(8 + 4)
+	points := make([]SeriesPoint, 0, nw)
+	for i := 0; i < nw && d.Err() == nil; i++ {
+		pt := SeriesPoint{Window: d.Int()}
+		nr := d.Count(rowWireMin)
+		for k := 0; k < nr && d.Err() == nil; k++ {
+			pt.Rows = append(pt.Rows, decodeRow(d))
+		}
+		points = append(points, pt)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	s.prev = prev
+	s.points = points
+	return nil
+}
+
 // LoadState restores contents checkpointed by SaveState, creating missing
 // instruments and overwriting existing ones in place. A histogram that
 // already exists (re-registered by a rebuilt layer) must carry the same

@@ -65,6 +65,11 @@ func Fingerprint(cfg Config) uint64 {
 	if cfg.Faults != nil {
 		fmt.Fprintf(h, "|faults=%#v", *cfg.Faults)
 	}
+	// Appended conditionally so every pre-series fingerprint (committed run
+	// logs, old snapshots) stays valid for runs without a series.
+	if cfg.Series {
+		fmt.Fprintf(h, "|series=true")
+	}
 	return h.Sum64()
 }
 
@@ -176,6 +181,10 @@ func snapshotPayload(cfg Config, env *Env, proto Stateful, windows []WindowResul
 	e.Bool(env.Obs != nil)
 	if env.Obs != nil {
 		env.Obs.SaveState(&e)
+	}
+	e.Bool(env.Series != nil)
+	if env.Series != nil {
+		env.Series.SaveState(&e)
 	}
 	env.Ledger.SaveState(&e)
 	e.U32(uint32(len(windows)))
@@ -314,6 +323,18 @@ func Resume(cfg Config, factory Factory, path string) (*Result, error) {
 	if env.Obs != nil {
 		if err := env.Obs.LoadState(d); err != nil {
 			return nil, fmt.Errorf("sim: checkpoint %s stats: %w", path, err)
+		}
+	}
+	hasSeries := d.Bool()
+	if d.Err() != nil {
+		return nil, fmt.Errorf("sim: checkpoint %s: %w", path, d.Err())
+	}
+	if hasSeries != (env.Series != nil) {
+		return nil, fmt.Errorf("sim: checkpoint %s series state does not match the config", path)
+	}
+	if env.Series != nil {
+		if err := env.Series.LoadState(d); err != nil {
+			return nil, fmt.Errorf("sim: checkpoint %s series: %w", path, err)
 		}
 	}
 	if err := env.Ledger.LoadState(d); err != nil {

@@ -235,6 +235,7 @@ func MergeTrials(results []*Result) *Result {
 	pooled := &Result{}
 	parts := make([][]metrics.VehicleStats, 0, len(results))
 	regs := make([]*obs.Registry, 0, len(results))
+	series := make([]*obs.Series, 0, len(results))
 	for _, r := range results {
 		if r == nil {
 			continue
@@ -243,6 +244,7 @@ func MergeTrials(results []*Result) *Result {
 		pooled.Windows = append(pooled.Windows, r.Windows...)
 		parts = append(parts, r.Stats)
 		regs = append(regs, r.Obs)
+		series = append(series, r.Series)
 		pooled.AvgNeighbors += r.AvgNeighbors
 		pooled.LatencySumSec += r.LatencySumSec
 		pooled.LatencyPairs += r.LatencyPairs
@@ -251,6 +253,7 @@ func MergeTrials(results []*Result) *Result {
 	}
 	pooled.Stats, pooled.Summary = metrics.Merge(parts)
 	pooled.Obs = obs.Merge(regs)
+	pooled.Series = obs.MergeSeries(series)
 	if pooled.Trials > 0 {
 		pooled.AvgNeighbors /= float64(pooled.Trials)
 	}

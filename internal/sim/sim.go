@@ -77,6 +77,20 @@ type Config struct {
 	// pooled registries merge in trial order into Result.Obs. False (the
 	// default) keeps every instrumented hot path a zero-cost no-op.
 	Stats bool
+	// Series, when true, additionally samples the statistics registry at
+	// every measurement-window boundary into an obs.Series of per-window
+	// deltas (implies the registry itself, so Series works with Stats off).
+	// Per-trial series merge slot-per-trial into Result.Series exactly like
+	// registries, so series exports are byte-identical for any worker
+	// count. False (the default) costs nothing.
+	Series bool
+	// Monitor, when non-nil, receives live notifications at window and
+	// trial boundaries (see the Monitor interface). Like Workers or Trace
+	// it only changes how a run is observed, never what it computes, so it
+	// is excluded from the scenario fingerprint. Callbacks fire from worker
+	// goroutines under RunTrials; implementations must be safe for
+	// concurrent use.
+	Monitor Monitor
 	// Checkpoint, when non-empty, is a directory where each trial writes a
 	// versioned, checksummed snapshot of its full state after every
 	// completed measurement window (at drained event-queue boundaries, so
@@ -166,6 +180,9 @@ type Env struct {
 	// Obs is the trial's statistics registry; nil (the default) hands out
 	// nil handles, making every instrumented path a no-op.
 	Obs *obs.Registry
+	// Series is the trial's windowed time-series; nil (the default) makes
+	// sampling a no-op. The window loop owns it — layers never touch it.
+	Series *obs.Series
 
 	refreshHooks []func()
 }
@@ -245,9 +262,14 @@ type Result struct {
 	// order). Both are zero/nil for a single Run.
 	Retried  int
 	Failures []*TrialError
-	// Obs carries the run's layer statistics when Config.Stats was set
-	// (pooled in trial order for a RunTrials result); nil otherwise.
+	// Obs carries the run's layer statistics when Config.Stats (or
+	// Config.Series, which implies the registry) was set, pooled in trial
+	// order for a RunTrials result; nil otherwise.
 	Obs *obs.Registry
+	// Series carries the run's windowed statistics deltas when
+	// Config.Series was set (pooled in trial order for a RunTrials
+	// result); nil otherwise.
+	Series *obs.Series
 }
 
 // MeanLatencySec returns the pooled mean time-to-first-exchange in seconds,
@@ -312,8 +334,11 @@ func NewEnvWithWorld(cfg Config, w *world.World) (*Env, error) {
 		DemandBits: cfg.DemandBits,
 		Trace:      cfg.Trace,
 	}
-	if cfg.Stats {
+	if cfg.Stats || cfg.Series {
 		env.Obs = obs.New()
+	}
+	if cfg.Series {
+		env.Series = obs.NewSeries()
 	}
 	// SetObs calls are nil-safe: with Stats off they hand every layer nil
 	// handles, keeping the instrumented hot paths no-ops.
@@ -428,6 +453,16 @@ func runWindows(cfg Config, env *Env, proto Protocol, completed []WindowResult, 
 		res.LatencySumSec += latSum
 		res.LatencyPairs += latPairs
 
+		// Sample the series before any checkpoint so the snapshot carries
+		// this window's point: a resumed run continues at the next window
+		// with no gap or duplicate.
+		env.Series.Sample(win, env.Obs)
+		if cfg.Monitor != nil {
+			// Rows and Points return fresh copies, so the monitor owns what
+			// it receives and can publish it to concurrent readers.
+			cfg.Monitor.WindowDone(cfg.Trial, win, cfg.Windows, env.Obs.Rows(""), env.Series.Points())
+		}
+
 		// A snapshot after the final window would never be resumed; skip it.
 		if st != nil && win < cfg.Windows-1 && env.Sim.Drained() {
 			if err := writeCheckpoint(cfg, env, st, res.Windows); err != nil {
@@ -440,6 +475,10 @@ func runWindows(cfg Config, env *Env, proto Protocol, completed []WindowResult, 
 	res.Events = env.Sim.Executed()
 	res.Trials = 1
 	res.Obs = env.Obs
+	res.Series = env.Series
+	if cfg.Monitor != nil {
+		cfg.Monitor.TrialDone(cfg.Trial)
+	}
 	return res, nil
 }
 

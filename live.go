@@ -1,0 +1,35 @@
+package mmv2v
+
+import (
+	"mmv2v/internal/obs"
+	"mmv2v/internal/obs/live"
+	"mmv2v/internal/sim"
+)
+
+// Live introspection: a LiveServer is a stdlib net/http surface over a
+// running simulation — /healthz, /metrics (current pooled statistics rows
+// as JSON Lines), /series (windowed samples so far), /progress (counts,
+// fraction, ETA) and net/http/pprof under /debug/pprof/. The server only
+// ever reads immutable published snapshots; the simulation publishes by
+// atomic pointer swap, so serving traffic cannot perturb a deterministic
+// run. Wire one in with ScenarioConfig.Monitor, or push snapshots by hand
+// with Publish. See DESIGN.md §9.
+
+// LiveServer serves live run telemetry over HTTP.
+type LiveServer = live.Server
+
+// NewLiveServer returns a server with an empty published snapshot. Start it
+// with Start(addr) or mount Handler() yourself.
+func NewLiveServer() *LiveServer { return live.NewServer() }
+
+// ProgressState is the structured completion state served at /progress.
+type ProgressState = obs.ProgressState
+
+// Monitor observes a run's progress from inside the trial loop: the
+// simulator invokes it synchronously after every drained window and every
+// finished trial with freshly copied snapshots. A LiveServer is a Monitor.
+// Monitors are execution-only observers — they are excluded from the
+// scenario fingerprint and never feed back into the simulation — but
+// callbacks arrive on worker goroutines, so implementations must be safe
+// for concurrent use.
+type Monitor = sim.Monitor

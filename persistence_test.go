@@ -6,6 +6,7 @@
 package mmv2v_test
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -17,6 +18,7 @@ import (
 	"testing"
 
 	"mmv2v"
+	"mmv2v/internal/obs"
 	"mmv2v/internal/persist"
 	"mmv2v/internal/sim"
 )
@@ -119,6 +121,53 @@ func TestResumeMatchesUninterrupted(t *testing.T) {
 	}
 }
 
+// seriesExport renders a result's pooled series canonically, for byte
+// comparison.
+func seriesExport(t *testing.T, res *mmv2v.Result) []byte {
+	t.Helper()
+	if res.Series == nil {
+		t.Fatal("series run returned nil Series")
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteSeriesJSONL(&buf, obs.SeriesRows(res.Series.Points(), "run")); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestResumeContinuesSeries pins the series half of the pause-button
+// contract: a resumed trial's windowed series is byte-identical to the
+// uninterrupted one — every window present exactly once, no gap where the
+// interruption fell and no re-sampled duplicate.
+func TestResumeContinuesSeries(t *testing.T) {
+	cfg := persistScenario(9)
+	cfg.Series = true
+	cfg.Checkpoint = t.TempDir()
+	full, err := mmv2v.RunTrials(cfg, mmv2v.MMV2V(mmv2v.DefaultParams()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := mmv2v.Resume(cfg, mmv2v.MMV2V(mmv2v.DefaultParams()), mmv2v.CheckpointPath(cfg.Checkpoint, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "resumed vs uninterrupted", full, resumed)
+	if got, want := seriesExport(t, resumed), seriesExport(t, full); !bytes.Equal(got, want) {
+		t.Fatalf("resumed series diverged:\nresumed:\n%s\nfull:\n%s", got, want)
+	}
+	wins := make([]int, 0, cfg.Windows)
+	for _, pt := range resumed.Series.Points() {
+		wins = append(wins, pt.Window)
+	}
+	want := make([]int, cfg.Windows)
+	for i := range want {
+		want[i] = i
+	}
+	if !reflect.DeepEqual(wins, want) {
+		t.Fatalf("resumed series windows = %v, want %v (no gap, no duplicate)", wins, want)
+	}
+}
+
 // TestResumeRejectsScenarioMismatch pins the fingerprint guard: a snapshot
 // must not resume under a different scenario.
 func TestResumeRejectsScenarioMismatch(t *testing.T) {
@@ -199,6 +248,7 @@ func crashingFactory(f mmv2v.Factory, set *crashSet, framesPerWindow, windows in
 func TestCrashResumeTortureByteIdentical(t *testing.T) {
 	const trials = 3
 	base := persistScenario(77)
+	base.Series = true // crash-resume must also splice the series seamlessly
 	framesPerWindow := int(base.WindowSec / base.Timing.Frame.Seconds())
 	clean, err := mmv2v.RunTrials(base, mmv2v.MMV2V(mmv2v.DefaultParams()), trials)
 	if err != nil {
@@ -223,6 +273,9 @@ func TestCrashResumeTortureByteIdentical(t *testing.T) {
 				t.Errorf("failures = %v", res.Failures)
 			}
 			requireSameResult(t, "crash-resumed vs clean", clean, res)
+			if got, want := seriesExport(t, res), seriesExport(t, clean); !bytes.Equal(got, want) {
+				t.Fatal("crash-resumed series diverged from the clean run")
+			}
 		})
 	}
 }

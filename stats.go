@@ -34,3 +34,36 @@ func WriteStatsCSV(w io.Writer, rows []StatsRow) error { return obs.WriteCSV(w, 
 
 // WriteStatsSummary prints a human-readable statistics table.
 func WriteStatsSummary(w io.Writer, rows []StatsRow) { obs.WriteSummary(w, rows) }
+
+// Time series: set ScenarioConfig.Series to true (it implies Stats) and the
+// run additionally samples the registry at every drained-window boundary,
+// landing per-window deltas in Result.Series. Per-trial series merge in
+// trial order exactly like registries, so exports are bit-identical for any
+// worker count, and the series rides through checkpoints: a resumed run
+// continues its series with no gap or duplicate window. See DESIGN.md §9.
+
+// Series holds one run's (or one pooled trial set's) windowed samples.
+type Series = obs.Series
+
+// SeriesPoint is one sampled window: its index plus the registry deltas
+// accumulated since the previous sample.
+type SeriesPoint = obs.SeriesPoint
+
+// SeriesRow is one exported sample in flattened form.
+type SeriesRow = obs.SeriesRow
+
+// SeriesRows flattens sampled points into rows under a scope label,
+// window-major. Nil or empty input yields no rows.
+func SeriesRows(points []SeriesPoint, scope string) []SeriesRow {
+	return obs.SeriesRows(points, scope)
+}
+
+// SortSeriesRows orders rows by (scope, window, name, kind) for
+// deterministic export of multi-scope collections.
+func SortSeriesRows(rows []SeriesRow) { obs.SortSeriesRows(rows) }
+
+// WriteSeriesJSONL emits one JSON object per series row.
+func WriteSeriesJSONL(w io.Writer, rows []SeriesRow) error { return obs.WriteSeriesJSONL(w, rows) }
+
+// WriteSeriesCSV emits the series rows as CSV with a header line.
+func WriteSeriesCSV(w io.Writer, rows []SeriesRow) error { return obs.WriteSeriesCSV(w, rows) }
