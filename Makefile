@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint unitcheck persistcheck sharecheck test test-short race bench bench-json bench-gate profile experiments examples faults city replay fuzz-smoke clean
+.PHONY: all build vet lint unitcheck persistcheck sharecheck alloccheck test test-short race bench bench-json bench-gate profile experiments examples faults city replay fuzz-smoke clean
 
 all: build vet lint test
 
@@ -31,6 +31,11 @@ persistcheck:
 sharecheck:
 	$(GO) run ./cmd/mmv2v-lint -passes sharecheck ./...
 
+# Hot-path allocation-discipline pass alone (fast iteration while tuning the
+# //mmv2v:hotpath call closures; DESIGN.md §8).
+alloccheck:
+	$(GO) run ./cmd/mmv2v-lint -passes alloccheck ./...
+
 test:
 	$(GO) test ./...
 
@@ -50,12 +55,14 @@ bench-json:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/mmv2v-bench2json > BENCH_$$(date +%F).json
 
 # Regression gate: re-run the benchmarks and fail on any ns/op slowdown of
-# more than 15% against the committed baseline snapshot. CI enforces this
-# gate; its threshold is tunable via the BENCH_GATE_THRESHOLD repository
-# variable when a runner generation turns out noisy (see README).
+# more than 15% — or any allocs/op or B/op growth of more than 25% — against
+# the committed baseline snapshot. Zero-alloc baselines fail on any fresh
+# allocation. CI enforces this gate; its thresholds are tunable via the
+# BENCH_GATE_THRESHOLD and BENCH_ALLOC_GATE_THRESHOLD repository variables
+# when a runner generation turns out noisy (see README).
 bench-gate:
 	$(GO) test -bench=. -benchmem ./... | $(GO) run ./cmd/mmv2v-bench2json \
-		-baseline BENCH_2026-08-08.json -threshold 0.15 > /dev/null
+		-baseline BENCH_2026-08-09.json -threshold 0.15 -alloc-threshold 0.25 > /dev/null
 
 # CPU + heap profiles of a representative pooled run with statistics on;
 # inspect with `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.

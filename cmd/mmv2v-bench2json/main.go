@@ -22,6 +22,11 @@
 // report, and the command exits nonzero when any pinned hot path slowed by
 // more than the -threshold fraction. Baseline entries missing from the
 // fresh run are skipped — partial bench runs gate only what they measured.
+//
+// -alloc-threshold (off when negative, the default) additionally gates
+// allocs/op and B/op by the same fractional rule. Unlike the ns/op gate,
+// zero baselines are not skipped: a hot path measured at 0 allocs/op is a
+// contract, and any fresh allocation on it fails at every threshold.
 package main
 
 import (
@@ -58,6 +63,7 @@ func main() {
 	commit := flag.String("commit", "", "commit hash to stamp into the report (CI passes its checkout SHA; the converter never execs git)")
 	baseline := flag.String("baseline", "", "baseline report JSON to gate ns/op against; exit 1 on regression")
 	threshold := flag.Float64("threshold", 0.15, "allowed fractional ns/op slowdown over the baseline")
+	allocThreshold := flag.Float64("alloc-threshold", -1, "allowed fractional allocs/op and B/op growth over the baseline; negative disables the allocation gate")
 	flag.Parse()
 	rep, err := run(os.Stdin, os.Stdout, *date, *commit)
 	if err != nil {
@@ -77,7 +83,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mmv2v-bench2json: %s: %v\n", *baseline, err)
 		os.Exit(1)
 	}
-	regressions, compared := compare(&base, rep, *threshold)
+	regressions, compared := compare(&base, rep, *threshold, *allocThreshold)
 	fmt.Fprintf(os.Stderr, "mmv2v-bench2json: compared %d benchmark(s) against %s (threshold %+.0f%%)\n",
 		compared, *baseline, *threshold*100)
 	for _, r := range regressions {
@@ -100,32 +106,60 @@ func run(in io.Reader, out io.Writer, date, commit string) (*Report, error) {
 	return rep, enc.Encode(rep)
 }
 
+// allocUnits are the -benchmem metrics the allocation gate covers.
+var allocUnits = []string{"allocs/op", "B/op"}
+
 // compare gates the fresh run against a baseline report: every baseline
 // (pkg, name) whose ns/op the fresh run also measured must not be slower by
-// more than the threshold fraction. It returns one message per regression
-// and the number of benchmarks compared; baseline entries the fresh run did
-// not exercise are skipped.
-func compare(base, fresh *Report, threshold float64) (regressions []string, compared int) {
-	measured := make(map[string]float64, len(fresh.Benchmarks))
+// more than the nsThreshold fraction, and — when allocThreshold is
+// non-negative — its allocs/op and B/op must not grow by more than the
+// allocThreshold fraction. It returns one message per regression and the
+// number of benchmarks compared on at least one metric; baseline entries
+// the fresh run did not exercise are skipped. Zero ns/op baselines are
+// skipped as unmeasured, but zero allocation baselines gate: 0 allocs/op is
+// a contract, and any fresh allocation on such a path fails at every
+// threshold.
+func compare(base, fresh *Report, nsThreshold, allocThreshold float64) (regressions []string, compared int) {
+	measured := make(map[string]map[string]float64, len(fresh.Benchmarks))
 	for _, b := range fresh.Benchmarks {
-		if ns, ok := b.Metrics["ns/op"]; ok {
-			measured[b.Pkg+" "+b.Name] = ns
-		}
+		measured[b.Pkg+" "+b.Name] = b.Metrics
 	}
 	for _, b := range base.Benchmarks {
-		was, ok := b.Metrics["ns/op"]
-		if !ok || was <= 0 {
-			continue
-		}
 		now, ok := measured[b.Pkg+" "+b.Name]
 		if !ok {
 			continue
 		}
-		compared++
-		if now > was*(1+threshold) {
-			regressions = append(regressions, fmt.Sprintf(
-				"%s %s: %.0f ns/op -> %.0f ns/op (%+.1f%%, allowed %+.0f%%)",
-				b.Pkg, b.Name, was, now, (now/was-1)*100, threshold*100))
+		hit := false
+		if was, ok := b.Metrics["ns/op"]; ok && was > 0 {
+			if ns, ok := now["ns/op"]; ok {
+				hit = true
+				if ns > was*(1+nsThreshold) {
+					regressions = append(regressions, fmt.Sprintf(
+						"%s %s: %.0f ns/op -> %.0f ns/op (%+.1f%%, allowed %+.0f%%)",
+						b.Pkg, b.Name, was, ns, (ns/was-1)*100, nsThreshold*100))
+				}
+			}
+		}
+		if allocThreshold >= 0 {
+			for _, unit := range allocUnits {
+				was, ok := b.Metrics[unit]
+				if !ok {
+					continue
+				}
+				v, ok := now[unit]
+				if !ok {
+					continue
+				}
+				hit = true
+				if v > was*(1+allocThreshold) {
+					regressions = append(regressions, fmt.Sprintf(
+						"%s %s: %g %s -> %g %s (allowed %+.0f%%)",
+						b.Pkg, b.Name, was, unit, v, unit, allocThreshold*100))
+				}
+			}
+		}
+		if hit {
+			compared++
 		}
 	}
 	return regressions, compared

@@ -108,7 +108,7 @@ func TestCompareGate(t *testing.T) {
 		// Ablation not measured this run: skipped.
 		bench("mmv2v", "BrandNew", 9999), // not in baseline: ignored
 	}}
-	regressions, compared := compare(base, fresh, 0.15)
+	regressions, compared := compare(base, fresh, 0.15, -1)
 	if compared != 3 {
 		t.Errorf("compared = %d, want 3 (Ablation skipped)", compared)
 	}
@@ -119,8 +119,74 @@ func TestCompareGate(t *testing.T) {
 		t.Errorf("regression message %q missing the slowdown percentage", regressions[0])
 	}
 
-	if regs, _ := compare(base, fresh, 0.5); len(regs) != 0 {
+	if regs, _ := compare(base, fresh, 0.5, -1); len(regs) != 0 {
 		t.Errorf("50%% threshold should pass a +30%% slowdown, got %v", regs)
+	}
+}
+
+// membench builds a benchmark entry with -benchmem metrics for gate tests.
+func membench(pkg, name string, ns, bytes, allocs float64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, Metrics: map[string]float64{
+		"ns/op": ns, "B/op": bytes, "allocs/op": allocs,
+	}}
+}
+
+// TestCompareAllocGate covers the -alloc-threshold gate: allocs/op and B/op
+// growth beyond the threshold regresses, growth within it passes, a
+// zero-alloc baseline fails on any fresh allocation at every threshold, and
+// a negative threshold disables the gate entirely.
+func TestCompareAllocGate(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{
+		membench("mmv2v/internal/world", "Refresh15vpl", 1000, 2000, 20),
+		membench("mmv2v/internal/world", "LinkLookup", 10, 0, 0),
+		membench("mmv2v/internal/traffic", "Step15vpl", 1000, 2000, 20),
+	}}
+	fresh := &Report{Benchmarks: []Benchmark{
+		membench("mmv2v/internal/world", "Refresh15vpl", 1000, 2100, 30), // +50% allocs: regression
+		membench("mmv2v/internal/world", "LinkLookup", 10, 16, 1),        // zero baseline: any alloc fails
+		membench("mmv2v/internal/traffic", "Step15vpl", 1000, 2200, 22),  // +10%: within threshold
+	}}
+	regressions, compared := compare(base, fresh, 0.15, 0.25)
+	if compared != 3 {
+		t.Errorf("compared = %d, want 3", compared)
+	}
+	if len(regressions) != 3 {
+		t.Fatalf("regressions = %v, want Refresh allocs/op plus both LinkLookup metrics", regressions)
+	}
+	joined := strings.Join(regressions, "\n")
+	for _, want := range []string{
+		"Refresh15vpl: 20 allocs/op -> 30 allocs/op",
+		"LinkLookup: 0 B/op -> 16 B/op",
+		"LinkLookup: 0 allocs/op -> 1 allocs/op",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("regressions missing %q:\n%s", want, joined)
+		}
+	}
+
+	// The zero-alloc contract holds at any threshold.
+	if regs, _ := compare(base, fresh, 10, 10); len(regs) != 2 {
+		t.Errorf("huge thresholds must still fail the zero-alloc baseline, got %v", regs)
+	}
+	// Negative threshold turns the allocation gate off.
+	if regs, _ := compare(base, fresh, 10, -1); len(regs) != 0 {
+		t.Errorf("disabled alloc gate still regressed: %v", regs)
+	}
+}
+
+// TestCompareAllocGateSkipsUnmeasured keeps partial runs partial: a fresh
+// run without -benchmem metrics gates only ns/op even with the allocation
+// gate enabled.
+func TestCompareAllocGateSkipsUnmeasured(t *testing.T) {
+	base := &Report{Benchmarks: []Benchmark{
+		membench("mmv2v/internal/world", "Refresh15vpl", 1000, 2000, 20),
+	}}
+	fresh := &Report{Benchmarks: []Benchmark{
+		bench("mmv2v/internal/world", "Refresh15vpl", 1000),
+	}}
+	regressions, compared := compare(base, fresh, 0.15, 0)
+	if compared != 1 || len(regressions) != 0 {
+		t.Errorf("compared = %d, regressions = %v; want 1 compared, none regressed", compared, regressions)
 	}
 }
 
@@ -128,7 +194,7 @@ func TestCompareGate(t *testing.T) {
 // committed baseline: the pinned hot paths must parse out of the repo's
 // BENCH_*.json with usable ns/op values.
 func TestCompareAgainstCommittedBaseline(t *testing.T) {
-	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_2026-08-08.json"))
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_2026-08-09.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,8 +205,9 @@ func TestCompareAgainstCommittedBaseline(t *testing.T) {
 	if len(base.Benchmarks) == 0 {
 		t.Fatal("committed baseline has no benchmarks")
 	}
-	// A fresh run identical to the baseline must pass at any threshold.
-	regressions, compared := compare(&base, &base, 0)
+	// A fresh run identical to the baseline must pass at any threshold,
+	// with the allocation gate enabled at zero tolerance.
+	regressions, compared := compare(&base, &base, 0, 0)
 	if len(regressions) != 0 {
 		t.Errorf("self-comparison regressed: %v", regressions)
 	}

@@ -62,6 +62,7 @@ func TestJSONGolden(t *testing.T) {
 		{"sharecheck.json", []string{"-C", fixture("sharecheck"), "-passes", "sharecheck", "-json", "./..."}},
 		{"persistcheck.json", []string{"-C", fixture("persistcheck"), "-passes", "persistcheck", "-json", "./..."}},
 		{"wallclock_transitive.json", []string{"-C", fixture("wallclock"), "-passes", "wallclock", "-json", "./internal/caller"}},
+		{"alloccheck.json", []string{"-C", fixture("alloccheck"), "-passes", "alloccheck", "-json", "./..."}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.golden, func(t *testing.T) {
@@ -137,8 +138,8 @@ func TestUnknownPassUsage(t *testing.T) {
 		`unknown pass "nope"`,
 		"valid passes:",
 		"usage: mmv2v-lint",
-		"maprange", "wallclock", "globalrand", "goroutine",
-		"floateq", "errdrop", "unitcheck", "persistcheck", "sharecheck",
+		"maprange", "wallclock", "globalrand", "goroutine", "floateq",
+		"errdrop", "unitcheck", "persistcheck", "sharecheck", "alloccheck",
 	} {
 		if !strings.Contains(stderr, want) {
 			t.Errorf("stderr missing %q:\n%s", want, stderr)

@@ -175,6 +175,7 @@ type Pattern struct {
 // tradeoff the paper's heterogeneous Tx/Rx widths exploit).
 func NewPattern(width units.Radian, sideLobe units.DB) Pattern {
 	if width <= 0 || width > 2*math.Pi {
+		//mmv2v:alloc cold panic path for a programmer error; never taken on a valid configuration
 		panic(fmt.Sprintf("channel: invalid beam width %v rad", width))
 	}
 	rho := (-sideLobe).Linear() // g2/g1
@@ -234,6 +235,7 @@ func (c *PatternCache) Get(width units.Radian) Pattern {
 		return p
 	}
 	p := NewPattern(width, c.sideLobe)
+	//mmv2v:alloc memoization miss: each distinct beam width is derived and inserted once per run
 	c.byWidth[width] = p
 	return p
 }

@@ -75,6 +75,13 @@ type Module struct {
 
 	wallclockTaint map[*types.Func]string // func -> witness chain
 	randTaint      map[*types.Func]string
+
+	// hotChains maps every function statically reachable from a
+	// //mmv2v:hotpath root to its call-path witness chain from that root
+	// ("Refresh → rebuildIndex"), consumed by alloccheck. Roots map to
+	// their own name; when several roots reach a function, the first root
+	// in position order wins, so chains are identical run to run.
+	hotChains map[*types.Func]string
 }
 
 // buildModule indexes every declared function of the loaded packages and
@@ -124,7 +131,44 @@ func buildModule(pkgs []*Package) *Module {
 		func(fi *funcInfo) []directUse { return fi.rand },
 		func(fi *funcInfo) bool { return fi.pkg.Rel == "internal/xrand" },
 	)
+	m.hotChains = m.hotpaths()
 	return m
+}
+
+// hotpaths seeds every //mmv2v:hotpath-annotated declaration (directive
+// trailing on, or on the line directly above, the func keyword — the last
+// doc-comment line works) and walks its static call closure breadth-first,
+// recording the call-path witness chain from the root. Roots are visited in
+// position order and a function keeps the first chain that reaches it, so
+// the map — and every alloccheck finding message built from it — is
+// deterministic.
+func (m *Module) hotpaths() map[*types.Func]string {
+	chains := make(map[*types.Func]string)
+	for _, root := range m.order {
+		if !root.pkg.suppressed("hotpath", root.decl.Pos()) {
+			continue
+		}
+		if _, seen := chains[root.obj]; !seen {
+			chains[root.obj] = root.obj.Name()
+		}
+		frontier := []*types.Func{root.obj}
+		for len(frontier) > 0 {
+			fn := frontier[0]
+			frontier = frontier[1:]
+			fi, ok := m.funcs[fn]
+			if !ok {
+				continue
+			}
+			for _, cs := range fi.calls {
+				if _, seen := chains[cs.callee]; seen {
+					continue
+				}
+				chains[cs.callee] = chains[fn] + " → " + cs.callee.Name()
+				frontier = append(frontier, cs.callee)
+			}
+		}
+	}
+	return chains
 }
 
 // collectBody walks one declared function (closures included) and records

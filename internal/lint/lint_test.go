@@ -125,6 +125,33 @@ func TestPassesOnFixtures(t *testing.T) {
 				"internal/spawn/spawn.go:13: sharecheck",
 			},
 		},
+		{
+			// Tick is the hot root: one finding per detector (30–43), plus 44
+			// where a bare //mmv2v:alloc without justification does not
+			// suppress, plus grow's make at 62 carrying the depth-two witness
+			// chain "Tick → helper → grow". helper's justified append, the
+			// interface-dispatched DynAlloc.Step, and the unreached Cold stay
+			// clean.
+			pass: "alloccheck",
+			want: []string{
+				"pkg/pkg.go:30: alloccheck",
+				"pkg/pkg.go:31: alloccheck",
+				"pkg/pkg.go:32: alloccheck",
+				"pkg/pkg.go:33: alloccheck",
+				"pkg/pkg.go:34: alloccheck",
+				"pkg/pkg.go:35: alloccheck",
+				"pkg/pkg.go:36: alloccheck",
+				"pkg/pkg.go:37: alloccheck",
+				"pkg/pkg.go:38: alloccheck",
+				"pkg/pkg.go:39: alloccheck",
+				"pkg/pkg.go:40: alloccheck",
+				"pkg/pkg.go:41: alloccheck",
+				"pkg/pkg.go:42: alloccheck",
+				"pkg/pkg.go:43: alloccheck",
+				"pkg/pkg.go:44: alloccheck",
+				"pkg/pkg.go:62: alloccheck",
+			},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.pass, func(t *testing.T) {
@@ -338,6 +365,96 @@ func TestPersistCheckMutation(t *testing.T) {
 				t.Errorf("ghost-field findings = %v, want %d", hits, tc.findings)
 			}
 		})
+	}
+}
+
+// injectBefore inserts stmt on its own line immediately before the first
+// occurrence of marker in file, inheriting the marker's indentation.
+func injectBefore(t *testing.T, file, marker, stmt string) {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), marker) {
+		t.Fatalf("%s: no %q", file, marker)
+	}
+	mutated := strings.Replace(string(data), marker, stmt+"\n\t"+marker, 1)
+	if err := os.WriteFile(file, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocCheckMutation is the allocation-discipline mutation table: an
+// allocation construct injected into a transitively hot fixture function
+// must add exactly one finding — unless it carries a justified //mmv2v:alloc
+// directive, in which case the finding count must not move.
+func TestAllocCheckMutation(t *testing.T) {
+	const baseline = 16 // fixture findings with no mutation
+	cases := []struct {
+		name  string
+		stmt  string // injected before helper's grow(s) call; "" = clean
+		extra int
+	}{
+		{"clean", "", 0},
+		{"injected-make", "leak := make([]int, n)\n\t_ = leak", 1},
+		{"boxing", "box(n)", 1},
+		{"closure-capture", "g := func() int { return n }\n\t_ = g", 1},
+		{"directive-suppressed", "leak := make([]int, n) //mmv2v:alloc one-time growth on the first tick\n\t_ = leak", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tmp := t.TempDir()
+			copyModule(t, filepath.Join("testdata", "alloccheck"), tmp)
+			if tc.stmt != "" {
+				injectBefore(t, filepath.Join(tmp, "pkg", "pkg.go"), "grow(s)", tc.stmt)
+			}
+			findings, err := Run(tmp, Options{Passes: []string{"alloccheck"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(findings) != baseline+tc.extra {
+				var lines []string
+				for _, f := range findings {
+					lines = append(lines, f.String())
+				}
+				t.Errorf("findings = %d, want %d:\n%s", len(findings), baseline+tc.extra, strings.Join(lines, "\n"))
+			}
+		})
+	}
+}
+
+// TestRepoHotAllocIsCaught is the deliberate-injection meta-test for the
+// allocation contract: a copy of the real repository with one make planted
+// inside world.Refresh must fail alloccheck with exactly that finding,
+// proving the pass — and therefore TestRepoIsClean and make lint — would
+// catch a real allocation regression on the pinned hot path.
+func TestRepoHotAllocIsCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	copyModule(t, root, tmp)
+	injectBefore(t, filepath.Join(tmp, "internal", "world", "world.go"),
+		"w.obsRefreshes.Inc()", "hotLeak := make([]int, w.n)\n\t_ = hotLeak")
+	findings, err := Run(tmp, Options{Passes: []string{"alloccheck"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit bool
+	for _, f := range findings {
+		if strings.Contains(f.Msg, "make allocates on hot path (Refresh)") {
+			hit = true
+		} else {
+			t.Errorf("unexpected extra finding: %s", f)
+		}
+	}
+	if !hit {
+		t.Error("injected make inside world.Refresh produced no alloccheck finding")
 	}
 }
 

@@ -64,6 +64,11 @@ func Passes() []Pass {
 			Doc:  "shared mutable state across the goroutine boundary: package-level var writes outside init, loop-variable capture in go closures, and unowned writes from goroutines, unless //mmv2v:shared justifies them",
 			run:  runShareCheck,
 		},
+		{
+			Name: "alloccheck",
+			Doc:  "hot-path allocation discipline: every allocation site in the call closure of a //mmv2v:hotpath root (make/new, composite literals, append, string concatenation and conversions, interface boxing, closure captures, map writes) must be hoisted or justified with //mmv2v:alloc",
+			run:  runAllocCheck,
+		},
 	}
 }
 

@@ -1,0 +1,74 @@
+// Package pkg exercises alloccheck: a hot root with every allocation
+// detector, a transitive callee carrying a deeper witness chain, justified
+// and unjustified suppressions, an interface dispatch that ends the walk,
+// and a cold function that may allocate freely.
+package pkg
+
+import "fmt"
+
+// State is the fixture's hot object.
+type State struct {
+	scratch []int
+	cache   map[int]int
+	total   string
+}
+
+// Stepper is dispatched dynamically; implementations are hot only if
+// separately annotated or reached directly.
+type Stepper interface{ Step() }
+
+// DynAlloc allocates in Step, but is reached only through the Stepper
+// interface, so the static walk ends at the dispatch and it stays clean.
+type DynAlloc struct{}
+
+func (DynAlloc) Step() { _ = make([]int, 4) }
+
+// Tick is the fixture's hot root.
+//
+//mmv2v:hotpath the fixture's tick
+func (s *State) Tick(n int) {
+	buf := make([]int, n)
+	q := new(State)
+	s.scratch = append(s.scratch, n)
+	lit := []int{1, 2, 3}
+	mlit := map[int]int{}
+	ptr := &State{}
+	s.total = s.total + "x"
+	s.total += "y"
+	bs := []byte(s.total)
+	s.cache[n] = n
+	fmt.Sprintln(n)
+	box(n)
+	spread(n, n)
+	f := func() int { return n }
+	bare := make([]int, 1) //mmv2v:alloc
+	var st Stepper = DynAlloc{}
+	st.Step()
+	_, _, _, _, _, _, _, _ = buf, q, lit, mlit, ptr, bs, f, bare
+	s.helper(n)
+}
+
+// helper is hot transitively (Tick → helper); its append carries a
+// justification on the preceding line, so only grow's make fires.
+func (s *State) helper(n int) {
+	//mmv2v:alloc amortized: scratch reuses its capacity across ticks
+	s.scratch = append(s.scratch, n)
+	grow(s)
+}
+
+// grow is hot at depth two; the finding's witness chain reads
+// "Tick → helper → grow".
+func grow(s *State) {
+	s.scratch = make([]int, 8)
+}
+
+// box takes an interface parameter, so hot callers box concrete arguments.
+func box(v interface{}) { _ = v }
+
+// spread is variadic over an interface element; non-spread hot calls box.
+func spread(vs ...interface{}) { _ = vs }
+
+// Cold is never reached from a hotpath root and may allocate freely.
+func Cold() []int {
+	return append([]int{}, 1, 2)
+}

@@ -373,6 +373,8 @@ func (m *Medium) deliverGroup(group []*transmission) {
 // given beams. All active signals except those transmitted by tx or rx
 // count as interference (rx cannot receive while transmitting — callers
 // handle TDD — and tx's own stream is the desired signal).
+//
+//mmv2v:hotpath the per-refresh SINR accumulation the UDT rate adapter queries
 func (m *Medium) SINRNow(tx, rx int, txBeam, rxBeam phy.Beam) units.DB {
 	now := m.sim.Now()
 	if m.faults != nil && (!m.faults.RadioUp(tx, now) || !m.faults.RadioUp(rx, now)) {

@@ -1,0 +1,42 @@
+package obs_test
+
+import (
+	"testing"
+
+	"mmv2v/internal/obs"
+)
+
+// TestNilHandleAllocFree pins the "zero-cost when disabled" contract
+// independently of the alloccheck lint pass and the benchmark gate: the
+// nil-handle no-op path of every handle type must not allocate at all.
+func TestNilHandleAllocFree(t *testing.T) {
+	var r *obs.Registry
+	c := r.Counter("hot.path")
+	g := r.Gauge("hot.path")
+	h := r.Histogram("hot.path", []float64{1, 2, 3})
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Observe(1.5)
+		h.Observe(2.5)
+	}); n != 0 {
+		t.Errorf("nil-handle no-op path allocates %v times per run, want 0", n)
+	}
+}
+
+// TestLiveHandleUpdateAllocFree pins the enabled-statistics steady state:
+// once a handle exists, updating it must not allocate either — counters and
+// gauges mutate in place, and histogram buckets are fixed at creation.
+func TestLiveHandleUpdateAllocFree(t *testing.T) {
+	r := obs.New()
+	c := r.Counter("hot.path")
+	g := r.Gauge("hot.path")
+	h := r.Histogram("hot.path", []float64{1, 2, 3})
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Observe(1.5)
+		h.Observe(2.5)
+	}); n != 0 {
+		t.Errorf("live-handle update path allocates %v times per run, want 0", n)
+	}
+}

@@ -1,0 +1,28 @@
+package traffic_test
+
+import (
+	"testing"
+
+	"mmv2v/internal/traffic"
+	"mmv2v/internal/xrand"
+)
+
+// TestStepSteadyStateAllocFree pins the ring road's steady-state mobility
+// tick at zero allocations: the per-direction groups are persistent scratch
+// that reaches fleet capacity on the first Step, the (S, ID) sort is
+// in-place, and directions never change, so every later Step reuses the
+// same backing arrays.
+func TestStepSteadyStateAllocFree(t *testing.T) {
+	road, err := traffic.New(traffic.DefaultConfig(15), xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up past the first-step scratch growth and a few lane-change
+	// cadence boundaries.
+	for i := 0; i < 100; i++ {
+		road.Step(0.005)
+	}
+	if n := testing.AllocsPerRun(200, func() { road.Step(0.005) }); n != 0 {
+		t.Errorf("steady-state Road.Step allocates %v times per run, want 0", n)
+	}
+}

@@ -15,7 +15,6 @@ package traffic
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"mmv2v/internal/geom"
 	"mmv2v/internal/xrand"
@@ -233,8 +232,11 @@ type Road struct {
 	cfg      Config //mmv2v:derived construction parameter re-supplied by the restore caller
 	vehicles []*Vehicle
 	rng      *xrand.Source
-	// order[dir][lane] caches vehicles sorted by S for leader lookups;
-	// rebuilt each step.
+	// groups[0] (westbound) and groups[1] (eastbound) hold the per-direction
+	// vehicle lists sorted by S for leader lookups. They are scratch, rebuilt
+	// from vehicles at the top of every Step; the backing arrays are reused
+	// so the steady-state mobility tick allocates nothing.
+	groups  [2][]*Vehicle //mmv2v:derived per-step sort scratch; rebuilt from vehicles at the top of every Step
 	elapsed float64
 }
 
@@ -393,32 +395,34 @@ func idmAccel(p IDMParams, v, v0, gap, leaderV float64) float64 {
 
 // Step advances the simulation by dt seconds: one IDM acceleration update
 // and integration for every vehicle, plus periodic MOBIL lane-change checks.
+//
+//mmv2v:hotpath the 5 ms mobility tick; pinned by BenchmarkStep*vpl
 func (r *Road) Step(dt float64) {
 	if dt <= 0 {
 		return
 	}
-	byDir := map[Direction][]*Vehicle{}
+	// Rebuild the per-direction groups into reusable scratch slices:
+	// westbound (index 0) before eastbound (index 1), the same order the old
+	// per-direction map keys sorted into, so the update sequence is unchanged
+	// and never depends on Go's randomized map iteration.
+	for i := range r.groups {
+		r.groups[i] = r.groups[i][:0]
+	}
 	for _, v := range r.vehicles {
-		byDir[v.Dir] = append(byDir[v.Dir], v)
+		g := 0
+		if v.Dir == Eastbound {
+			g = 1
+		}
+		//mmv2v:alloc amortized: the scratch slice grows to fleet size on the first step and is reused afterwards
+		r.groups[g] = append(r.groups[g], v)
 	}
-	// Per-direction groups are processed in sorted direction order so the
-	// update sequence never depends on Go's randomized map iteration.
-	dirs := make([]int, 0, len(byDir))
-	//mmv2v:sorted pure key collection; sorted below before any per-direction processing
-	for d := range byDir {
-		dirs = append(dirs, int(d))
-	}
-	sort.Ints(dirs)
-	groups := make([][]*Vehicle, 0, len(dirs))
-	for _, d := range dirs {
-		vs := byDir[Direction(d)]
-		sort.Slice(vs, func(i, j int) bool { return vs[i].S < vs[j].S })
-		groups = append(groups, vs)
+	for _, vs := range r.groups {
+		sortVehiclesBySID(vs)
 	}
 
 	// Lane-change pass (MOBIL), evaluated at the configured cadence.
 	if r.cfg.LaneChangeCheckEvery > 0 {
-		for _, vs := range groups {
+		for _, vs := range r.groups {
 			for _, v := range vs {
 				v.sinceLaneChange += dt
 				due := math.Mod(r.elapsed+v.Quantile*r.cfg.LaneChangeCheckEvery, r.cfg.LaneChangeCheckEvery)
@@ -430,7 +434,7 @@ func (r *Road) Step(dt float64) {
 	}
 
 	// Acceleration pass.
-	for _, vs := range groups {
+	for _, vs := range r.groups {
 		for _, v := range vs {
 			gap, leaderV := r.gapAhead(v, v.Lane, vs)
 			v.A = r.idmAccel(v.V, v.DesiredV, gap, leaderV)
@@ -458,7 +462,7 @@ func (r *Road) maybeChangeLane(v *Vehicle, dirVehicles []*Vehicle) {
 	bestGainTotal := 0.0
 	curGap, curLeaderV := r.gapAhead(v, v.Lane, dirVehicles)
 	aCur := r.idmAccel(v.V, v.DesiredV, curGap, curLeaderV)
-	for _, target := range []int{v.Lane - 1, v.Lane + 1} {
+	for target := v.Lane - 1; target <= v.Lane+1; target += 2 {
 		if target < 0 || target >= r.cfg.LanesPerDir {
 			continue
 		}
@@ -501,6 +505,78 @@ func (r *Road) maybeChangeLane(v *Vehicle, dirVehicles []*Vehicle) {
 		v.DesiredV = band.Low + v.Quantile*(band.High-band.Low)
 		v.sinceLaneChange = 0
 	}
+}
+
+// vehicleLess orders vehicles by ascending position S, breaking exact ties
+// by ID. The ID tiebreak makes the order total, so every sort of the same
+// vehicle set yields the same permutation regardless of input order or sort
+// algorithm — the property both the ring road's per-direction groups and the
+// Network's per-lane groups rely on for determinism.
+func vehicleLess(a, b *Vehicle) bool {
+	if a.S < b.S {
+		return true
+	}
+	if a.S > b.S {
+		return false
+	}
+	return a.ID < b.ID
+}
+
+// sortVehiclesBySID sorts a vehicle slice by (S, ID) without allocating:
+// sort.Slice would heap-allocate its closure and box the slice into an
+// interface on every call, which the 5 ms mobility tick cannot afford.
+// Short slices insertion-sort; longer ones go through a median-of-three
+// quicksort with recursion on the smaller half, mirroring
+// world.sortLinksByRank.
+func sortVehiclesBySID(vs []*Vehicle) {
+	for len(vs) > 24 {
+		p := partitionVehicles(vs)
+		// Recurse into the smaller half; loop on the larger to bound stack depth.
+		if p < len(vs)-p-1 {
+			sortVehiclesBySID(vs[:p])
+			vs = vs[p+1:]
+		} else {
+			sortVehiclesBySID(vs[p+1:])
+			vs = vs[:p]
+		}
+	}
+	for i := 1; i < len(vs); i++ {
+		v := vs[i]
+		j := i - 1
+		for j >= 0 && vehicleLess(v, vs[j]) {
+			vs[j+1] = vs[j]
+			j--
+		}
+		vs[j+1] = v
+	}
+}
+
+// partitionVehicles Lomuto-partitions vs around a median-of-three pivot and
+// returns the pivot's final index.
+func partitionVehicles(vs []*Vehicle) int {
+	hi := len(vs) - 1
+	m := hi / 2
+	v0, vm, vh := vs[0], vs[m], vs[hi]
+	var pi int
+	switch {
+	case vehicleLess(vm, v0) != vehicleLess(vh, v0):
+		pi = 0
+	case vehicleLess(vm, v0) != vehicleLess(vm, vh):
+		pi = m
+	default:
+		pi = hi
+	}
+	vs[pi], vs[hi] = vs[hi], vs[pi]
+	p := vs[hi]
+	i := 0
+	for j := 0; j < hi; j++ {
+		if vehicleLess(vs[j], p) {
+			vs[i], vs[j] = vs[j], vs[i]
+			i++
+		}
+	}
+	vs[i], vs[hi] = vs[hi], vs[i]
+	return i
 }
 
 // laneCenterY returns the lateral (y) coordinate of a lane center.

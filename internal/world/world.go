@@ -336,12 +336,15 @@ func (w *World) rebuildCells() {
 	}
 	for i := 0; i < w.n; i++ {
 		c := w.cellY(w.pos[i].Y)*w.cellsX + w.cellX(w.pos[i].X)
+		//mmv2v:alloc amortized: buckets grow to steady-state occupancy and are reused across refreshes
 		w.cells[c] = append(w.cells[c], int32(i))
 	}
 }
 
 // Refresh recomputes positions and the pair table from the fleet state.
 // Call after every traffic step (the paper's 5 ms update).
+//
+//mmv2v:hotpath the 5 ms link-table rebuild; pinned by BenchmarkRefresh*
 func (w *World) Refresh() {
 	w.loadPoses()
 
@@ -399,7 +402,9 @@ func (w *World) Refresh() {
 					}
 					bAB := pa.BearingTo(pb)
 					bBA := geom.NormalizeBearing(bAB + geom.Bearing(math.Pi))
+					//mmv2v:alloc amortized: per-vehicle link tables grow to steady-state degree and are reused across refreshes
 					w.links[a] = append(w.links[a], Link{J: b, Dist: d, Bearing: bAB, Blockers: blockers, PathGainLin: gain})
+					//mmv2v:alloc amortized: same reused backing array, mirror entry of the pair
 					w.links[b] = append(w.links[b], Link{J: a, Dist: d, Bearing: bBA, Blockers: blockers, PathGainLin: gain})
 					entries += 2
 					if blockers > 0 {
@@ -429,6 +434,7 @@ func (w *World) rebuildIndex() {
 		w.sortLinksByRank(ls)
 		for _, l := range ls {
 			if l.Blockers == 0 && l.Dist <= w.cfg.CommRange {
+				//mmv2v:alloc amortized: neighbor sets grow to steady-state degree and are reused across refreshes
 				w.neighbors[i] = append(w.neighbors[i], l.J)
 			}
 		}
@@ -448,6 +454,7 @@ func (w *World) rebuildIndex() {
 		}
 		s := w.slots[i]
 		if cap(s) < width {
+			//mmv2v:alloc amortized: slot tables are regrown only when a vehicle's rank window widens past every previous refresh
 			s = make([]int32, width)
 		} else {
 			s = s[:width]
@@ -607,6 +614,8 @@ func (w *World) countBlockers(a, b int, dM, maxDiag float64) int {
 // roads) the lookup is one O(1) probe of i's rank-window slot table; on
 // sparse rank bands (road graphs) it binary-searches the rank-sorted link
 // slice.
+//
+//mmv2v:hotpath the per-slot link probe; pinned by BenchmarkLinkLookup
 func (w *World) Link(i, j int) (Link, bool) {
 	if lo := w.slotLo[i]; lo >= 0 {
 		r := w.rank[j] - lo
